@@ -1,0 +1,23 @@
+"""FIG10 — Fig. 10: normalized weighted speedup of 4-core mixes.
+
+Expected shape: Baseline-RP (rank partitioning) clearly beats the shared
+Baseline; ROP at least matches Baseline-RP and beats Baseline by a factor
+that grows with the mix's memory intensity (the paper's 1.29X geomean).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig10_11_weighted_speedup, reporting
+
+
+def test_fig10_weighted_speedup(benchmark, scale, bench_mixes):
+    rows = run_once(benchmark, fig10_11_weighted_speedup, bench_mixes, scale)
+    print("\n" + reporting.render_fig10_11(rows))
+    for row in rows:
+        assert row["norm_ws"]["Baseline-RP"] > 0.99
+        assert row["norm_ws"]["ROP"] > 0.99
+        assert row["norm_ws"]["ROP"] > row["norm_ws"]["Baseline-RP"] * 0.97
+    # intensity ordering: the heaviest mix gains the most from ROP
+    if {"WL1", "WL6"} <= {r["mix"] for r in rows}:
+        gain = {r["mix"]: r["norm_ws"]["ROP"] for r in rows}
+        assert gain["WL1"] >= gain["WL6"]

@@ -1,0 +1,21 @@
+"""FIG11 — Fig. 11: normalized 4-core energy consumption.
+
+Expected shape: rank partitioning (and ROP on top of it) shortens
+execution and therefore reduces energy versus the shared Baseline; the
+more intensive the mix, the larger the saving.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig10_11_weighted_speedup, reporting
+
+
+def test_fig11_multicore_energy(benchmark, scale, bench_mixes):
+    rows = run_once(benchmark, fig10_11_weighted_speedup, bench_mixes, scale)
+    print("\n" + reporting.render_fig10_11(rows))
+    for row in rows:
+        assert row["norm_energy"]["ROP"] < 1.02
+        assert row["norm_energy"]["Baseline-RP"] < 1.02
+    if {"WL1", "WL6"} <= {r["mix"] for r in rows}:
+        sav = {r["mix"]: r["norm_energy"]["ROP"] for r in rows}
+        assert sav["WL1"] <= sav["WL6"] + 0.02  # heavier mix saves more

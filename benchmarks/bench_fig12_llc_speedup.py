@@ -1,0 +1,36 @@
+"""FIG12 — Fig. 12: normalized weighted speedup vs LLC size.
+
+Expected shape: ROP's advantage over the Baseline exists at every LLC
+size and shrinks as the LLC grows (bigger caches filter more requests and
+narrow the baseline/ideal gap) — the paper's third conclusion.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig12_13_14_llc_sensitivity, reporting
+
+SWEEP = (
+    tuple(m << 20 for m in (1, 2, 4, 8))
+    if os.environ.get("REPRO_SCALE") == "paper"
+    else tuple(m << 20 for m in (1, 4))
+)
+
+
+def test_fig12_llc_speedup(benchmark, scale, bench_mixes):
+    rows = run_once(
+        benchmark, fig12_13_14_llc_sensitivity, bench_mixes, scale, llc_sweep=SWEEP
+    )
+    print("\nROP weighted speedup normalized to Baseline, by LLC size:")
+    print(reporting.render_llc_sensitivity(rows, "norm_ws"))
+    for row in rows:
+        for llc, data in row["llc"].items():
+            assert data["norm_ws"]["ROP"] > 0.97, (row["mix"], llc)
+    # the heaviest mix's ROP gain shrinks as the LLC grows (generous
+    # tolerance: short runs are noisy on this second-order trend)
+    heavy = rows[0]["llc"]
+    assert (
+        heavy[max(SWEEP)]["norm_ws"]["ROP"]
+        <= heavy[min(SWEEP)]["norm_ws"]["ROP"] + 0.12
+    )

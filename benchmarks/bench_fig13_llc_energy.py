@@ -1,0 +1,28 @@
+"""FIG13 — Fig. 13: normalized energy vs LLC size.
+
+Expected shape: ROP consumes no more energy than the Baseline at any LLC
+size, with savings largest for memory-intensive mixes at small LLCs.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig12_13_14_llc_sensitivity, reporting
+
+SWEEP = (
+    tuple(m << 20 for m in (1, 2, 4, 8))
+    if os.environ.get("REPRO_SCALE") == "paper"
+    else tuple(m << 20 for m in (1, 4))
+)
+
+
+def test_fig13_llc_energy(benchmark, scale, bench_mixes):
+    rows = run_once(
+        benchmark, fig12_13_14_llc_sensitivity, bench_mixes, scale, llc_sweep=SWEEP
+    )
+    print("\nROP energy normalized to Baseline, by LLC size:")
+    print(reporting.render_llc_sensitivity(rows, "norm_energy"))
+    for row in rows:
+        for llc, data in row["llc"].items():
+            assert data["norm_energy"]["ROP"] < 1.03, (row["mix"], llc)

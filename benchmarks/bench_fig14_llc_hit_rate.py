@@ -1,0 +1,29 @@
+"""FIG14 — Fig. 14: SRAM buffer hit rate vs LLC size.
+
+Expected shape: the armed hit rate stays at a workable level across LLC
+sizes — prediction quality is a property of the access patterns, not of
+cache capacity.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig12_13_14_llc_sensitivity, reporting
+
+SWEEP = (
+    tuple(m << 20 for m in (1, 2, 4, 8))
+    if os.environ.get("REPRO_SCALE") == "paper"
+    else tuple(m << 20 for m in (1, 4))
+)
+
+
+def test_fig14_llc_hit_rate(benchmark, scale, bench_mixes):
+    rows = run_once(
+        benchmark, fig12_13_14_llc_sensitivity, bench_mixes, scale, llc_sweep=SWEEP
+    )
+    print("\nROP armed hit rate by LLC size:")
+    print(reporting.render_llc_sensitivity(rows, "rop_armed_hit_rate"))
+    # report-only at smoke scale; hit rates depend on how much traffic the
+    # mixes push through the shared bus (the pressure guard may disarm)
+    assert rows

@@ -1,0 +1,18 @@
+"""FIG1 — Fig. 1: performance and energy overheads of auto-refresh.
+
+Regenerates the baseline vs idealized no-refresh comparison. Expected
+shape: a few percent IPC degradation (more for memory-intensive
+benchmarks) and ~10–40 % extra energy.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig1_refresh_overheads, reporting
+
+
+def test_fig1_refresh_overheads(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, fig1_refresh_overheads, bench_benchmarks, scale)
+    print("\n" + reporting.render_fig1(rows))
+    for row in rows:
+        assert row["perf_degradation_pct"] >= -0.5
+        assert row["energy_overhead_pct"] > 0

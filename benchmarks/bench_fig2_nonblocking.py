@@ -1,0 +1,25 @@
+"""FIG2 — Fig. 2: fraction of non-blocking refreshes at 1×/2×/4× windows.
+
+Expected shape: sparse (non-intensive) benchmarks leave most refreshes
+non-blocking; streaming benchmarks block almost every refresh.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig2_to_4_and_table1, reporting
+
+
+def test_fig2_nonblocking_refreshes(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, fig2_to_4_and_table1, bench_benchmarks, scale)
+    print("\n" + reporting.render_fig2(rows))
+    by_name = {r.benchmark: r for r in rows}
+    if "gobmk" in by_name:
+        assert by_name["gobmk"].windows[1.0].non_blocking_fraction > 0.5
+    if "lbm" in by_name:
+        assert by_name["lbm"].windows[1.0].non_blocking_fraction < 0.2
+    # wider examined windows can only reduce the non-blocking fraction
+    for r in rows:
+        assert (
+            r.windows[4.0].non_blocking_fraction
+            <= r.windows[1.0].non_blocking_fraction + 1e-9
+        )

@@ -1,0 +1,17 @@
+"""FIG3 — Fig. 3: average requests blocked per blocking refresh.
+
+Expected shape: each blocking refresh blocks only a handful of reads
+(the paper observed an average of a few and a maximum of 12) — the
+observation that justifies a small SRAM buffer.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig2_to_4_and_table1, reporting
+
+
+def test_fig3_blocked_requests(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, fig2_to_4_and_table1, bench_benchmarks, scale)
+    print("\n" + reporting.render_fig3(rows))
+    for r in rows:
+        assert r.avg_blocked < 16, f"{r.benchmark} blocks too many requests"

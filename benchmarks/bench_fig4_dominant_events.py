@@ -1,0 +1,17 @@
+"""FIG4 — Fig. 4: dominance of events E1 (B>0∧A>0) and E2 (B=0∧A=0).
+
+Expected shape: E1+E2 covers the large majority of refreshes, so a
+predictor keyed on window occupancy achieves high coverage.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig2_to_4_and_table1, reporting
+
+
+def test_fig4_dominant_events(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, fig2_to_4_and_table1, bench_benchmarks, scale)
+    print("\n" + reporting.render_fig4(rows))
+    for r in rows:
+        if r.windows[1.0].refreshes >= 20:
+            assert r.windows[1.0].dominant_fraction > 0.5, r.benchmark

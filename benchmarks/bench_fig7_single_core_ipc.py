@@ -1,0 +1,27 @@
+"""FIG7 — Fig. 7: single-core IPC, ROP vs baseline vs idealized memory.
+
+Expected shape: ROP sits between the baseline and the no-refresh bound
+(recovering most of the refresh loss for predictable intensive
+benchmarks), never materially below baseline, and occasionally above the
+ideal thanks to 3-cycle SRAM hits.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig7_8_9_rop_comparison, reporting
+
+SIZES = (16, 32, 64, 128) if os.environ.get("REPRO_SCALE") == "paper" else (64,)
+
+
+def test_fig7_single_core_ipc(benchmark, scale, bench_benchmarks):
+    rows = run_once(
+        benchmark, fig7_8_9_rop_comparison, bench_benchmarks, scale, sram_sizes=SIZES
+    )
+    print("\n" + reporting.render_fig7_8_9(rows))
+    for row in rows:
+        ideal = row["norm_ipc_norefresh"]
+        for size, data in row["rop"].items():
+            assert data["norm_ipc"] > 0.985, (row["benchmark"], size)
+            assert data["norm_ipc"] < ideal * 1.05

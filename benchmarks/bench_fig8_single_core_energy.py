@@ -1,0 +1,25 @@
+"""FIG8 — Fig. 8: single-core memory energy, normalized to the baseline.
+
+Expected shape: ROP's energy tracks its runtime savings (background power
+dominates), staying at or below the baseline; the no-refresh ideal is the
+lower bound.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig7_8_9_rop_comparison, reporting
+
+SIZES = (16, 32, 64, 128) if os.environ.get("REPRO_SCALE") == "paper" else (64,)
+
+
+def test_fig8_single_core_energy(benchmark, scale, bench_benchmarks):
+    rows = run_once(
+        benchmark, fig7_8_9_rop_comparison, bench_benchmarks, scale, sram_sizes=SIZES
+    )
+    print("\n" + reporting.render_fig7_8_9(rows))
+    for row in rows:
+        assert row["norm_energy_norefresh"] < 1.0  # ideal saves energy
+        for size, data in row["rop"].items():
+            assert data["norm_energy"] < 1.04, (row["benchmark"], size)

@@ -1,0 +1,26 @@
+"""FIG9 — Fig. 9: SRAM buffer hit rate per buffer capacity.
+
+Expected shape: predictable (streaming/strided) benchmarks sustain armed
+hit rates above the 0.6 threshold; capacity growth does not hurt.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness import fig7_8_9_rop_comparison, reporting
+from repro.workloads import profile
+
+SIZES = (16, 32, 64, 128) if os.environ.get("REPRO_SCALE") == "paper" else (16, 64)
+
+
+def test_fig9_sram_hit_rate(benchmark, scale, bench_benchmarks):
+    rows = run_once(
+        benchmark, fig7_8_9_rop_comparison, bench_benchmarks, scale, sram_sizes=SIZES
+    )
+    print("\n" + reporting.render_fig7_8_9(rows))
+    for row in rows:
+        p = profile(row["benchmark"])
+        hr = row["rop"][max(SIZES)]["armed_hit_rate"]
+        if p.intensive and p.name in ("lbm", "libquantum", "bwaves"):
+            assert hr > 0.55, (row["benchmark"], hr)

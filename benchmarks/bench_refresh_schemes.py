@@ -1,0 +1,64 @@
+"""EXT — extension study: ROP vs the related-work refresh schemes.
+
+The paper compares ROP only against auto-refresh and the idealized
+memory, arguing other schemes' gains "can be extrapolated". This bench
+makes the comparison explicit: JEDEC fine-grained refresh (2x/4x),
+Elastic-Refresh-style postponement, Refresh-Pausing-style interruptible
+refresh, per-bank refresh (the paper's future work), and ROP — all on the
+same workloads.
+
+Expected shape: ROP and Pausing recover most of the refresh loss for
+predictable streams; FGR is not a one-size-fits-all win (more total lock
+time); per-bank refresh helps by localizing the freeze.
+"""
+
+from conftest import run_once
+
+from repro import RefreshMode, SystemConfig
+from repro.cpu import run_cores
+from repro.harness import reporting
+from repro.workloads import profile
+
+MODES = (
+    RefreshMode.AUTO_1X,
+    RefreshMode.FGR_2X,
+    RefreshMode.FGR_4X,
+    RefreshMode.ELASTIC,
+    RefreshMode.PAUSING,
+    RefreshMode.PER_BANK,
+    RefreshMode.NONE,
+)
+
+
+def run_matrix(scale, benches):
+    rows = []
+    for name in benches:
+        cfg = SystemConfig.single_core()
+        mt = profile(name).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+        ipcs = {}
+        for mode in MODES:
+            ipcs[mode.value] = run_cores([mt], cfg.with_refresh_mode(mode)).ipc
+        ipcs["rop"] = run_cores(
+            [mt], cfg.with_rop(training_refreshes=scale.training_refreshes)
+        ).ipc
+        rows.append({"benchmark": name, "ipc": ipcs})
+    return rows
+
+
+def test_refresh_scheme_comparison(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, run_matrix, scale, bench_benchmarks)
+    headers = ["benchmark"] + [m.value for m in MODES] + ["rop"]
+    body = []
+    for r in rows:
+        base = r["ipc"]["auto_1x"]
+        body.append(
+            [r["benchmark"]]
+            + [f"{r['ipc'][m.value] / base:.4f}" for m in MODES]
+            + [f"{r['ipc']['rop'] / base:.4f}"]
+        )
+    print("\nIPC normalized to auto-refresh baseline:")
+    print(reporting.format_table(headers, body))
+    for r in rows:
+        ipc = r["ipc"]
+        assert ipc["none"] >= ipc["auto_1x"] * 0.999  # ideal is the bound
+        assert ipc["rop"] >= ipc["auto_1x"] * 0.985  # ROP never collapses

@@ -1,0 +1,52 @@
+"""SENS — sensitivity of ROP to its own parameters (Section V-A choices).
+
+The paper fixes the training length (50 refreshes), hit-rate threshold
+(0.6, "conservatively") and observational window (one refresh period)
+without sweeping them. This bench sweeps each around the paper's value on
+a predictable intensive stream and checks the choices are *robust*: small
+parameter changes must not change the outcome materially.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro import SystemConfig, WindowBase
+from repro.cpu import run_cores
+from repro.harness import reporting
+from repro.workloads import profile
+
+
+def run_variant(scale, **rop_kwargs):
+    rop_kwargs.setdefault("training_refreshes", scale.training_refreshes)
+    cfg = SystemConfig.single_core().with_rop(**rop_kwargs)
+    mt = profile("libquantum").memory_trace(scale.instructions, cfg.llc, seed=1)
+    r = run_cores([mt], cfg)
+    return r.ipc, r.rop_summary["armed_hit_rate"]
+
+
+def test_parameter_sensitivity(benchmark, scale):
+    def sweep():
+        out = {}
+        base_training = scale.training_refreshes
+        for tr in (max(2, base_training // 2), base_training, base_training * 2):
+            out[f"training={tr}"] = run_variant(scale, training_refreshes=tr)
+        for th in (0.4, 0.6, 0.8):
+            out[f"threshold={th}"] = run_variant(scale, hit_rate_threshold=th)
+        for mult in (0.5, 1.0, 2.0):
+            out[f"window={mult}x tREFI"] = run_variant(scale, window_mult=mult)
+        out["window=4x tRFC"] = run_variant(
+            scale, window_base=WindowBase.TRFC, window_mult=4.0
+        )
+        return out
+
+    out = run_once(benchmark, sweep)
+    body = [[k, f"{ipc:.4f}", f"{hr:.3f}"] for k, (ipc, hr) in out.items()]
+    print("\n" + reporting.format_table(["variant", "IPC", "armed HR"], body))
+
+    ipcs = [ipc for ipc, _ in out.values()]
+    spread = (max(ipcs) - min(ipcs)) / max(ipcs)
+    # robustness: no parameter choice shifts IPC by more than ~2 %
+    assert spread < 0.02, f"parameter sensitivity too high: {spread:.3f}"
+    # the paper's defaults sit within the swept set and perform well
+    default_ipc = out[f"training={scale.training_refreshes}"][0]
+    assert default_ipc >= max(ipcs) * 0.99

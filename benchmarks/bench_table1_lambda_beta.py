@@ -1,0 +1,32 @@
+"""TAB1 — Table I: the conditional probabilities λ and β per benchmark.
+
+Expected shape: λ high for memory-intensive benchmarks (busy windows stay
+busy), β high for sparse/bursty ones (quiet windows stay quiet), and both
+fairly insensitive to the window length — the paper's justification for
+the 1× observational window.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.harness import fig2_to_4_and_table1, reporting
+from repro.workloads import profile
+
+
+def test_table1_lambda_beta(benchmark, scale, bench_benchmarks):
+    rows = run_once(benchmark, fig2_to_4_and_table1, bench_benchmarks, scale)
+    print("\n" + reporting.render_table1(rows))
+    for r in rows:
+        wa = r.windows[1.0]
+        if wa.refreshes < 30:
+            continue
+        p = profile(r.benchmark)
+        if not math.isnan(wa.lam):
+            assert abs(wa.lam - p.paper_lambda) < 0.35, (
+                f"{r.benchmark}: λ={wa.lam:.2f} vs paper {p.paper_lambda}"
+            )
+        if not math.isnan(wa.beta) and p.paper_beta > 0.05:
+            assert abs(wa.beta - p.paper_beta) < 0.35, (
+                f"{r.benchmark}: β={wa.beta:.2f} vs paper {p.paper_beta}"
+            )

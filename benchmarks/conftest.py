@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one table or figure of the paper via the
+harness drivers. ``REPRO_SCALE`` (smoke / default / paper) controls run
+length; benchmarks default to the *smoke* scale so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes, while
+``REPRO_SCALE=paper`` reproduces the numbers recorded in EXPERIMENTS.md.
+
+Every benchmark runs exactly once per session (``rounds=1``) — these are
+whole-experiment timings, not microbenchmarks — and prints the paper-style
+table as it completes so the run doubles as a results report.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import RunScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> RunScale:
+    """Experiment scale selected by REPRO_SCALE (default: smoke)."""
+    return RunScale.named(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks() -> tuple[str, ...]:
+    """Benchmark set: 4 representative profiles at smoke scale, all 12 otherwise."""
+    if os.environ.get("REPRO_SCALE", "smoke") == "smoke":
+        return ("lbm", "libquantum", "bzip2", "gobmk")
+    from repro.harness import DEFAULT_BENCHMARKS
+
+    return DEFAULT_BENCHMARKS
+
+
+@pytest.fixture(scope="session")
+def bench_mixes() -> tuple[str, ...]:
+    """Mix set: two mixes at smoke scale, all six otherwise."""
+    if os.environ.get("REPRO_SCALE", "smoke") == "smoke":
+        return ("WL1", "WL6")
+    from repro.workloads import WORKLOAD_MIXES
+
+    return tuple(WORKLOAD_MIXES)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

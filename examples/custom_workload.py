@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bring your own workload: custom phase models and raw traces.
+
+Two ways to drive the simulator with your own memory behaviour:
+
+1. a :class:`~repro.workloads.PhaseModel` — describe busy/idle phases,
+   access density and address patterns, and let the generator + LLC
+   produce the memory trace (shown below with a bursty multi-delta
+   stencil);
+2. a raw :class:`~repro.workloads.AccessTrace` — hand the core model an
+   explicit list of accesses (shown with a tiny pointer-chasing loop).
+
+Both are run against the baseline and ROP to show how predictability
+drives the prefetcher's usefulness.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import RefreshMode, SystemConfig
+from repro.cpu import filter_trace, run_cores
+from repro.workloads import AccessTrace, PhaseModel, generate_trace
+
+
+def evaluate(label: str, memory_trace: AccessTrace) -> None:
+    """Run a memory trace on baseline / no-refresh / ROP and report."""
+    cfg = SystemConfig.single_core()
+    base = run_cores([memory_trace], cfg)
+    ideal = run_cores([memory_trace], cfg.with_refresh_mode(RefreshMode.NONE))
+    rop = run_cores([memory_trace], cfg.with_rop(training_refreshes=10))
+    gap = ideal.ipc - base.ipc
+    recovered = (rop.ipc - base.ipc) / gap * 100 if gap > 1e-9 else float("nan")
+    print(f"\n== {label} ==")
+    print(f"  requests          : {len(memory_trace)}")
+    print(f"  IPC  base/ideal   : {base.ipc:.4f} / {ideal.ipc:.4f}")
+    print(f"  IPC  ROP          : {rop.ipc:.4f}  (recovered {recovered:.0f}% of the gap)")
+    print(f"  armed hit rate    : {rop.rop_summary['armed_hit_rate']:.2f}")
+
+
+def stencil_workload() -> AccessTrace:
+    """A bursty 2-delta stencil: highly predictable, ROP's best case."""
+    model = PhaseModel(
+        busy_instr=150_000,
+        idle_instr=150_000,
+        access_density=0.25,
+        pattern_frac=0.06,
+        ws_frac=0.0,
+        pattern="multidelta",
+        deltas=(1, 3),
+        write_frac=0.2,
+    )
+    cpu = generate_trace(model, total_instructions=3_000_000, seed=7)
+    return filter_trace(cpu, SystemConfig.single_core().llc).memory_trace
+
+
+def pointer_chase_workload() -> AccessTrace:
+    """A pseudo-random pointer chase: adversarial, ROP should stand down."""
+    rng = np.random.default_rng(13)
+    n = 60_000
+    perm = rng.permutation(1 << 18).astype(np.int64)  # 16 MB working set
+    idx = 0
+    lines = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        idx = int(perm[idx])
+        lines[i] = idx
+    cpu = AccessTrace(
+        gaps=np.full(n, 50, dtype=np.int64),
+        lines=lines,
+        writes=np.zeros(n, dtype=bool),
+    )
+    return filter_trace(cpu, SystemConfig.single_core().llc).memory_trace
+
+
+def main() -> None:
+    evaluate("bursty (1,3)-stencil — predictable", stencil_workload())
+    evaluate("pointer chase — unpredictable", pointer_chase_workload())
+    print(
+        "\nThe stencil recovers most of the refresh gap; for the chase, the"
+        " utilization\nharm-guard detects useless prefetches and falls back"
+        " to Training, so ROP costs\n(nearly) nothing instead of wasting"
+        " bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

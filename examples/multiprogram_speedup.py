@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Multi-programmed evaluation (the paper's Figs. 10/11).
+
+Runs four-benchmark workload mixes on a 4-rank DDR4 memory under the
+paper's three systems — Baseline (shared mapping), Baseline-RP (rank
+partitioning) and ROP — and prints normalized weighted speedups and
+energy, plus the LLC-size sensitivity sweep (Figs. 12/13/14) on request.
+
+Run:  python examples/multiprogram_speedup.py [WL1 WL2 ...] [--llc-sweep]
+"""
+
+import argparse
+
+from repro.harness import (
+    RunScale,
+    fig10_11_weighted_speedup,
+    fig12_13_14_llc_sensitivity,
+    reporting,
+)
+from repro.workloads import WORKLOAD_MIXES, mix_profiles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "mixes",
+        nargs="*",
+        default=["WL1", "WL6"],
+        help=f"workload mixes (choices: {', '.join(WORKLOAD_MIXES)})",
+    )
+    parser.add_argument("--instructions", type=int, default=1_500_000)
+    parser.add_argument(
+        "--llc-sweep",
+        action="store_true",
+        help="also run the Figs. 12-14 LLC-size sensitivity sweep",
+    )
+    args = parser.parse_args()
+    scale = RunScale(instructions=args.instructions, training_refreshes=10)
+    mixes = tuple(args.mixes)
+
+    for mix in mixes:
+        members = ", ".join(p.name for p in mix_profiles(mix))
+        print(f"{mix}: {members}")
+
+    print("\n— Figs. 10/11: weighted speedup and energy (normalized to Baseline) —")
+    rows = fig10_11_weighted_speedup(mixes, scale)
+    print(reporting.render_fig10_11(rows))
+
+    if args.llc_sweep:
+        print("\n— Figs. 12/13/14: LLC-size sensitivity —")
+        srows = fig12_13_14_llc_sensitivity(
+            mixes, scale, llc_sweep=tuple(m << 20 for m in (1, 2, 4, 8))
+        )
+        print("\nROP weighted speedup (normalized to Baseline at each size):")
+        print(reporting.render_llc_sensitivity(srows, "norm_ws"))
+        print("\nROP energy (normalized to Baseline at each size):")
+        print(reporting.render_llc_sensitivity(srows, "norm_energy"))
+        print("\nROP armed SRAM hit rate:")
+        print(reporting.render_llc_sensitivity(srows, "rop_armed_hit_rate"))
+
+
+if __name__ == "__main__":
+    main()

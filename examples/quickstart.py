@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the memory system, refresh overheads, and ROP in ~60 lines.
+
+Builds the paper's DDR4-1600 single-rank memory, replays one streaming
+read sequence against three systems — the auto-refresh baseline, an
+idealized no-refresh memory, and ROP — and prints what refresh costs and
+how much of it ROP recovers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MemorySystem, RefreshMode, SystemConfig
+
+
+def run_system(label: str, config: SystemConfig, n_reads: int = 40_000) -> None:
+    """Replay a fixed read stream (one read every 20 cycles) and report."""
+    memory = MemorySystem(config)
+    for i in range(n_reads):
+        memory.schedule_read(line=i, cycle=i * 20)
+    memory.run()
+    stats = memory.finish()
+
+    print(f"\n== {label} ==")
+    print(f"  demand reads      : {stats.reads}")
+    print(f"  avg read latency  : {stats.avg_read_latency:6.2f} cycles")
+    print(f"  max read latency  : {stats.read_latency_max} cycles")
+    print(f"  refreshes issued  : {stats.refreshes}")
+    print(f"  row-buffer hits   : {stats.row_hit_rate:.1%}")
+    if config.rop.enabled:
+        print(f"  SRAM hits (lock)  : {stats.sram_hits_in_lock}")
+        print(f"  SRAM hits (other) : {stats.sram_hits_out_of_lock}")
+        print(f"  Fig-9 hit rate    : {stats.lock_hit_rate:.2f}")
+        summary = memory.rop_summary()
+        lam_beta = summary["lam_beta"]["ch0.rank0"]
+        if lam_beta:
+            print(f"  profiled λ, β     : {lam_beta[0]:.2f}, {lam_beta[1]:.2f}")
+
+
+def main() -> None:
+    base = SystemConfig.single_core()
+
+    print("ROP quickstart — DDR4-1600, 1 rank, tREFI=7.8 µs, tRFC=350 ns")
+    print(f"refresh duty cycle: {base.timings.refresh_duty_cycle:.1%} of time frozen")
+
+    run_system("Baseline (auto-refresh)", base)
+    run_system("Idealized (no refresh)", base.with_refresh_mode(RefreshMode.NONE))
+    # a short training phase suits this short demo run; the paper uses 50
+    run_system("ROP (64-line SRAM buffer)", base.with_rop(training_refreshes=10))
+
+    print(
+        "\nROP's average latency approaches — and for this stream beats —"
+        " the idealized\nmemory: reads arriving while the rank is frozen are"
+        " answered from the prefetch\nbuffer in 3 cycles instead of waiting"
+        " out the 280-cycle refresh lock, and warm\nbuffer lines keep"
+        " serving 3-cycle hits between refreshes (the paper's\n"
+        "\"ROP even slightly outperforms an idealized memory\" effect)."
+    )
+
+
+if __name__ == "__main__":
+    main()

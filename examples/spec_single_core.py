@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Single-core SPEC stand-in evaluation (the paper's Figs. 1, 7, 8, 9).
+
+For each selected benchmark profile this script runs the full pipeline —
+synthetic CPU trace → LLC filter → trace-driven core + DDR4 co-simulation
+— on the baseline, the idealized no-refresh memory, and ROP, then prints
+the normalized results exactly as the paper's figures report them.
+
+Run:  python examples/spec_single_core.py [bench ...] [--instructions N]
+"""
+
+import argparse
+
+from repro.harness import (
+    RunScale,
+    fig1_refresh_overheads,
+    fig7_8_9_rop_comparison,
+    reporting,
+)
+from repro.workloads import SPEC_PROFILES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        default=["lbm", "libquantum", "GemsFDTD", "bzip2"],
+        help=f"benchmark names (choices: {', '.join(SPEC_PROFILES)})",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=3_000_000,
+        help="trace length per benchmark (default 3M)",
+    )
+    parser.add_argument(
+        "--sram-sizes",
+        type=int,
+        nargs="+",
+        default=[64],
+        help="SRAM buffer capacities to evaluate (paper: 16 32 64 128)",
+    )
+    args = parser.parse_args()
+
+    scale = RunScale(instructions=args.instructions, training_refreshes=25)
+    benches = tuple(args.benchmarks)
+
+    print("— Fig. 1: what refresh costs (baseline vs idealized memory) —")
+    rows = fig1_refresh_overheads(benches, scale)
+    print(reporting.render_fig1(rows))
+
+    print("\n— Figs. 7/8/9: ROP vs baseline (IPC, energy, SRAM hit rate) —")
+    rows = fig7_8_9_rop_comparison(benches, scale, sram_sizes=tuple(args.sram_sizes))
+    print(reporting.render_fig7_8_9(rows))
+    print(
+        "\nReading: values are normalized to the baseline; 'noref IPC' is the"
+        " upper bound.\nROP columns near (or above) it mean the refresh"
+        " overhead was recovered."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Calibration check: per-benchmark lambda/beta at 1x window vs Table I targets,
+plus intensity (MPKI), refresh overhead and ROP recovery."""
+import sys, time
+from repro import SystemConfig, RefreshMode
+from repro.workloads import SPEC_PROFILES
+from repro.cpu import run_cores
+from repro.stats.refresh_analysis import analyze_rank, blocked_per_refresh
+
+INSTR = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000_000
+names = sys.argv[2].split(",") if len(sys.argv) > 2 else list(SPEC_PROFILES)
+
+cfg = SystemConfig.single_core()
+w = cfg.timings.refi
+print(f"{'bench':11s} {'MPKI':>5s} {'lam':>5s}(tgt) {'beta':>5s}(tgt) {'ovh%':>5s} {'rop%':>5s} {'rec%':>5s} {'lockHR':>6s} {'blk/ref':>7s} t")
+for name in names:
+    p = SPEC_PROFILES[name]
+    t0 = time.time()
+    mt = p.memory_trace(INSTR, cfg.llc, seed=1)
+    b = run_cores([mt], cfg, record_events=True)
+    ev = b.events[(0, 0)]
+    wa = analyze_rank(ev, w)
+    blocked = blocked_per_refresh(ev)
+    blk = blocked[blocked > 0]
+    n = run_cores([mt], cfg.with_refresh_mode(RefreshMode.NONE))
+    r = run_cores([mt], cfg.with_rop())
+    gap = n.ipc - b.ipc
+    rec = (r.ipc - b.ipc) / gap * 100 if gap > 1e-9 else float('nan')
+    mpki = len(mt) / INSTR * 1000
+    print(f"{name:11s} {mpki:5.1f} {wa.lam:5.2f}({p.paper_lambda:.2f}) {wa.beta:5.2f}({p.paper_beta:.2f}) "
+          f"{(n.ipc/b.ipc-1)*100:5.2f} {(r.ipc/b.ipc-1)*100:5.2f} {rec:5.0f} "
+          f"{r.stats.lock_hit_rate:6.2f} {blk.mean() if len(blk) else 0:7.2f} {time.time()-t0:.0f}s")

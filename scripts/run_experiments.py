@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Run the full paper-scale experiment set and emit EXPERIMENTS.md content.
+
+This is the script that produced EXPERIMENTS.md: every table and figure
+driver at the `paper` scale, rendered as markdown-ish text blocks with the
+paper's reported values alongside.
+
+Usage:  python scripts/run_experiments.py [out.md] [--scale paper]
+"""
+
+import sys
+import time
+
+from repro.harness import (
+    DEFAULT_BENCHMARKS,
+    RunScale,
+    fig1_refresh_overheads,
+    fig2_to_4_and_table1,
+    fig7_8_9_rop_comparison,
+    fig10_11_weighted_speedup,
+    fig12_13_14_llc_sensitivity,
+    reporting,
+)
+from repro.stats.metrics import geomean
+from repro.workloads import WORKLOAD_MIXES, profile
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS_RAW.md"
+    scale_name = "paper"
+    if "--scale" in sys.argv:
+        scale_name = sys.argv[sys.argv.index("--scale") + 1]
+    scale = RunScale.named(scale_name)
+    mix_scale = RunScale(
+        instructions=scale.instructions // 3,
+        seed=scale.seed,
+        training_refreshes=max(10, scale.training_refreshes // 2),
+    )
+    lines: list[str] = [
+        f"# Raw experiment output (scale={scale_name}, "
+        f"{scale.instructions} instructions single-core, "
+        f"{mix_scale.instructions} per core multi-core)",
+        "",
+    ]
+
+    def block(title: str, text: str) -> None:
+        print(f"\n===== {title} =====\n{text}", flush=True)
+        lines.append(f"## {title}\n\n```\n{text}\n```\n")
+
+    t0 = time.time()
+
+    rows1 = fig1_refresh_overheads(DEFAULT_BENCHMARKS, scale)
+    block("FIG1 refresh overheads (perf + energy)", reporting.render_fig1(rows1))
+
+    rows234 = fig2_to_4_and_table1(DEFAULT_BENCHMARKS, scale)
+    block("TAB1 lambda/beta", reporting.render_table1(rows234))
+    block("FIG2 non-blocking refreshes", reporting.render_fig2(rows234))
+    block("FIG3 blocked per blocking refresh", reporting.render_fig3(rows234))
+    block("FIG4 dominant events", reporting.render_fig4(rows234))
+
+    rows789 = fig7_8_9_rop_comparison(
+        DEFAULT_BENCHMARKS, scale, sram_sizes=(16, 32, 64, 128)
+    )
+    block("FIG7/8/9 single-core ROP", reporting.render_fig7_8_9(rows789))
+    gains = [r["rop"][64]["norm_ipc"] for r in rows789]
+    lines.append(
+        f"ROP-64 normalized IPC geomean: {geomean(gains):.4f}; "
+        f"max gain {max(gains):.4f}\n"
+    )
+
+    mixes = tuple(WORKLOAD_MIXES)
+    rows1011 = fig10_11_weighted_speedup(mixes, mix_scale)
+    block("FIG10/11 multi-programmed", reporting.render_fig10_11(rows1011))
+
+    rows121314 = fig12_13_14_llc_sensitivity(
+        mixes, mix_scale, llc_sweep=tuple(m << 20 for m in (1, 2, 4, 8))
+    )
+    block(
+        "FIG12 weighted speedup vs LLC (ROP/Baseline)",
+        reporting.render_llc_sensitivity(rows121314, "norm_ws"),
+    )
+    block(
+        "FIG13 energy vs LLC (ROP/Baseline)",
+        reporting.render_llc_sensitivity(rows121314, "norm_energy"),
+    )
+    block(
+        "FIG14 armed hit rate vs LLC",
+        reporting.render_llc_sensitivity(rows121314, "rop_armed_hit_rate"),
+    )
+
+    lines.append(f"_Total wall time: {time.time() - t0:.0f}s_\n")
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(lines))
+    print(f"\nwrote {out_path} in {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

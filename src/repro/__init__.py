@@ -1,0 +1,47 @@
+"""repro — a full reproduction of *ROP: Alleviating Refresh Overheads via
+Reviving the Memory System in Frozen Cycles* (ICPP 2016).
+
+Public entry points:
+
+* :class:`repro.SystemConfig` — configure the memory system, ROP, core, LLC.
+* :class:`repro.MemorySystem` — the DDR4 substrate with optional ROP.
+* :mod:`repro.workloads` — calibrated SPEC CPU2006 stand-in generators.
+* :mod:`repro.harness` — single-core / multi-core experiment drivers that
+  regenerate every table and figure of the paper's evaluation.
+"""
+
+from .config import (
+    CACHE_LINE_BYTES,
+    AddressMapScheme,
+    CoreConfig,
+    LlcConfig,
+    MemoryOrganization,
+    RefreshConfig,
+    RefreshMode,
+    RopConfig,
+    SchedulerConfig,
+    SystemConfig,
+    WindowBase,
+)
+from .dram import DDR4_1600, DDR4_2400, DramTimings, MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "AddressMapScheme",
+    "CoreConfig",
+    "LlcConfig",
+    "MemoryOrganization",
+    "RefreshConfig",
+    "RefreshMode",
+    "RopConfig",
+    "SchedulerConfig",
+    "SystemConfig",
+    "WindowBase",
+    "DDR4_1600",
+    "DDR4_2400",
+    "DramTimings",
+    "MemorySystem",
+    "__version__",
+]

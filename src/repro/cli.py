@@ -1,0 +1,237 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Examples
+--------
+::
+
+    python -m repro info
+    python -m repro compare lbm --instructions 3000000
+    python -m repro analyze bzip2 gobmk
+    python -m repro fig 7 --scale default
+    python -m repro fig 10 --scale smoke
+    python -m repro schemes libquantum
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SystemConfig, RefreshMode, __version__
+from .cpu import run_cores
+from .energy import system_energy
+from .harness import (
+    DEFAULT_BENCHMARKS,
+    RunScale,
+    fig1_refresh_overheads,
+    fig2_to_4_and_table1,
+    fig7_8_9_rop_comparison,
+    fig10_11_weighted_speedup,
+    fig12_13_14_llc_sensitivity,
+    reporting,
+)
+from .workloads import SPEC_PROFILES, WORKLOAD_MIXES, profile
+
+__all__ = ["main"]
+
+
+def _scale(args) -> RunScale:
+    if args.instructions:
+        return RunScale(
+            instructions=args.instructions,
+            seed=args.seed,
+            training_refreshes=max(5, min(50, args.instructions // 120_000)),
+        )
+    return RunScale.named(args.scale, seed=args.seed)
+
+
+def _cmd_info(args) -> int:
+    cfg = SystemConfig.single_core()
+    t = cfg.timings
+    print(f"repro {__version__} — ROP (ICPP 2016) reproduction")
+    print(f"DDR4-1600: tCK={t.tck_ns} ns, CL={t.cl}, tRCD={t.rcd}, tRP={t.rp}")
+    print(f"tREFI={t.refi} cycles ({t.ns(t.refi) / 1000:.1f} µs), "
+          f"tRFC={t.rfc} cycles ({t.ns(t.rfc):.0f} ns), "
+          f"duty={t.refresh_duty_cycle:.2%}")
+    print(f"benchmarks: {', '.join(SPEC_PROFILES)}")
+    print(f"mixes: "
+          + "; ".join(f"{m}={'+'.join(v)}" for m, v in WORKLOAD_MIXES.items()))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scale = _scale(args)
+    cfg = SystemConfig.single_core()
+    for name in args.benchmarks:
+        mt = profile(name).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+        base = run_cores([mt], cfg)
+        ideal = run_cores([mt], cfg.with_refresh_mode(RefreshMode.NONE))
+        rop = run_cores(
+            [mt], cfg.with_rop(training_refreshes=scale.training_refreshes)
+        )
+        e_base = system_energy(base.stats, cfg)
+        e_rop = system_energy(rop.stats, cfg.with_rop())
+        gap = ideal.ipc - base.ipc
+        rec = (rop.ipc - base.ipc) / gap * 100 if gap > 1e-9 else float("nan")
+        print(f"\n{name} ({len(mt)} requests)")
+        print(f"  IPC    baseline {base.ipc:.4f}  no-refresh {ideal.ipc:.4f}  "
+              f"ROP {rop.ipc:.4f} ({rec:.0f}% of gap recovered)")
+        print(f"  energy baseline {e_base.total_mj:.3f} mJ  "
+              f"ROP {e_rop.total_mj:.3f} mJ "
+              f"({(e_rop.total / e_base.total - 1) * 100:+.1f}%)")
+        print(f"  SRAM   hit rate {rop.stats.lock_hit_rate:.2f} (Fig. 9 metric), "
+              f"armed {rop.rop_summary['armed_hit_rate']:.2f}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    scale = _scale(args)
+    rows = fig2_to_4_and_table1(tuple(args.benchmarks), scale)
+    print(reporting.render_table1(rows))
+    print()
+    print(reporting.render_fig2(rows))
+    print()
+    print(reporting.render_fig3(rows))
+    print()
+    print(reporting.render_fig4(rows))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    scale = _scale(args)
+    fig = args.figure
+    benches = tuple(args.benchmarks) if args.benchmarks else DEFAULT_BENCHMARKS
+    mixes = tuple(args.benchmarks) if args.benchmarks else tuple(WORKLOAD_MIXES)
+    if fig == "1":
+        print(reporting.render_fig1(fig1_refresh_overheads(benches, scale)))
+    elif fig in ("2", "3", "4", "t1"):
+        rows = fig2_to_4_and_table1(benches, scale)
+        render = {
+            "2": reporting.render_fig2,
+            "3": reporting.render_fig3,
+            "4": reporting.render_fig4,
+            "t1": reporting.render_table1,
+        }[fig]
+        print(render(rows))
+    elif fig in ("7", "8", "9"):
+        rows = fig7_8_9_rop_comparison(benches, scale, sram_sizes=(16, 32, 64, 128))
+        print(reporting.render_fig7_8_9(rows))
+    elif fig in ("10", "11"):
+        print(reporting.render_fig10_11(fig10_11_weighted_speedup(mixes, scale)))
+    elif fig in ("12", "13", "14"):
+        rows = fig12_13_14_llc_sensitivity(
+            mixes, scale, llc_sweep=tuple(m << 20 for m in (1, 2, 4, 8))
+        )
+        metric = {"12": "norm_ws", "13": "norm_energy", "14": "rop_armed_hit_rate"}[fig]
+        print(reporting.render_llc_sensitivity(rows, metric))
+    else:
+        print(f"unknown figure {fig!r}; known: 1 2 3 4 t1 7 8 9 10 11 12 13 14",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    scale = _scale(args)
+    cfg = SystemConfig.single_core()
+    modes = [m for m in RefreshMode]
+    headers = ["benchmark"] + [m.value for m in modes] + ["rop"]
+    body = []
+    for name in args.benchmarks:
+        mt = profile(name).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+        ipcs = {
+            m.value: run_cores([mt], cfg.with_refresh_mode(m)).ipc for m in modes
+        }
+        ipcs["rop"] = run_cores(
+            [mt], cfg.with_rop(training_refreshes=scale.training_refreshes)
+        ).ipc
+        base = ipcs[RefreshMode.AUTO_1X.value]
+        body.append([name] + [f"{ipcs[h] / base:.4f}" for h in headers[1:]])
+    print("IPC normalized to auto-refresh:")
+    print(reporting.format_table(headers, body))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .workloads import characterize
+
+    scale = _scale(args)
+    cfg = SystemConfig.single_core()
+    headers = [
+        "benchmark", "MPKI", "wr%", "busy%", "λ~", "β~", "predict", "dwell",
+    ]
+    body = []
+    for name in args.benchmarks:
+        mt = profile(name).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+        pr = characterize(mt)
+        body.append([
+            name,
+            f"{pr.mpki:.1f}",
+            f"{pr.write_fraction:.2f}",
+            f"{pr.busy_window_fraction:.2f}",
+            f"{pr.busy_persistence:.2f}",
+            f"{pr.quiet_persistence:.2f}",
+            f"{pr.delta_predictability:.2f}",
+            f"{pr.mean_bank_dwell:.1f}",
+        ])
+    print("memory-level trace characterization "
+          "(λ~/β~: busy/quiet window persistence):")
+    print(reporting.format_table(headers, body))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--scale", default="default",
+                        choices=("smoke", "default", "paper"))
+        sp.add_argument("--instructions", type=int, default=0,
+                        help="override the scale's instruction count")
+        sp.add_argument("--seed", type=int, default=1)
+
+    sp = sub.add_parser("info", help="print configuration summary")
+    sp.set_defaults(func=_cmd_info)
+
+    sp = sub.add_parser("compare", help="baseline vs no-refresh vs ROP")
+    sp.add_argument("benchmarks", nargs="+")
+    common(sp)
+    sp.set_defaults(func=_cmd_compare)
+
+    sp = sub.add_parser("analyze", help="Figs. 2-4 + Table I window analysis")
+    sp.add_argument("benchmarks", nargs="+")
+    common(sp)
+    sp.set_defaults(func=_cmd_analyze)
+
+    sp = sub.add_parser("fig", help="regenerate one paper figure/table")
+    sp.add_argument("figure", help="1 2 3 4 t1 7 8 9 10 11 12 13 14")
+    sp.add_argument("benchmarks", nargs="*",
+                    help="benchmarks (Figs. 1-9) or mixes (Figs. 10-14)")
+    common(sp)
+    sp.set_defaults(func=_cmd_fig)
+
+    sp = sub.add_parser("schemes", help="compare all refresh schemes + ROP")
+    sp.add_argument("benchmarks", nargs="+")
+    common(sp)
+    sp.set_defaults(func=_cmd_schemes)
+
+    sp = sub.add_parser(
+        "characterize", help="trace statistics (MPKI, burstiness, predictability)"
+    )
+    sp.add_argument("benchmarks", nargs="+")
+    common(sp)
+    sp.set_defaults(func=_cmd_characterize)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""ROP — the paper's contribution: refresh-oriented prefetching."""
+
+from .prediction_table import BankEntry, PredictionTable
+from .prefetcher import Prefetcher
+from .profiler import CategoryCounts, LambdaBeta, PatternProfiler
+from .rop_engine import LockRecord, RopEngine
+from .sram_buffer import SramBuffer
+from .state_machine import RopState, RopStateMachine
+
+__all__ = [
+    "BankEntry",
+    "PredictionTable",
+    "Prefetcher",
+    "CategoryCounts",
+    "LambdaBeta",
+    "PatternProfiler",
+    "LockRecord",
+    "RopEngine",
+    "SramBuffer",
+    "RopState",
+    "RopStateMachine",
+]

@@ -1,0 +1,294 @@
+"""Rank-scoped prediction table — the paper's VLDP variant (Section IV-C).
+
+One table per rank, one entry per bank. Each entry tracks the last
+accessed line offset within the bank and three delta patterns of orders
+1, 2 and 3 with saturating frequency counters:
+
+``(BankID, LastAddr, Delta1, f1, Delta2, f2, Delta3, f3)``
+
+Matching semantics
+------------------
+Each order-``k`` pattern is a *cyclic matcher*: the stored tuple is the
+last ``k`` deltas, and a phase pointer tracks where in the cycle the
+stream currently is. An incoming delta that equals the expected element
+advances the phase and increments ``f_k``; a mismatch re-anchors the tuple
+to the most recent ``k`` deltas and resets ``f_k``.
+
+The paper describes tumbling windows ("every two accesses generate a tuple
+of two deltas"), but a literal tumbling implementation mis-phases its
+projections for two of every three alignments of a period-3 pattern such
+as (+1, +1, +6) — the projection would replay the rotation it happened to
+capture instead of continuing the stream. The cyclic matcher recognizes
+the same patterns, uses the same storage (204 bits per entry → 204 B for
+an 8-bank rank), and projects with the correct phase. The tumbling
+variant remains available for the fidelity ablation
+(``BankEntry(tumbling=True)``).
+
+When any counter would overflow its 8-bit field, all three are halved
+(the paper notes overflow never occurred in their runs).
+
+At prefetch time :meth:`BankEntry.project` extrapolates future offsets by
+cyclically re-applying the pattern's deltas from ``LastAddr`` starting at
+the current phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["BankEntry", "PredictionTable", "FREQ_CAP", "FILL_UP_CONFIDENCE"]
+
+#: saturation point of the 8-bit frequency counters
+FREQ_CAP = 255
+
+#: minimum frequency of the strongest pattern before its projection may be
+#: extended past the Eq.-3 shares (prevents amplifying one-off deltas)
+FILL_UP_CONFIDENCE = 4
+
+
+class _CyclicMatcher:
+    """Order-``k`` cyclic delta pattern: tuple, phase, frequency."""
+
+    __slots__ = ("k", "pattern", "phase", "freq")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.pattern: tuple[int, ...] | None = None
+        self.phase = 0
+        self.freq = 0
+
+    def update(self, delta: int, history: deque[int]) -> None:
+        if self.pattern is not None and delta == self.pattern[self.phase]:
+            self.freq += 1
+            self.phase = (self.phase + 1) % self.k
+            return
+        if len(history) >= self.k:
+            # re-anchor on the most recent k deltas (oldest first); for a
+            # period-k stream the next delta then equals pattern[0]
+            self.pattern = tuple(list(history)[-self.k:])
+            self.phase = 0
+            self.freq = 0
+        else:
+            self.pattern = None
+            self.phase = 0
+            self.freq = 0
+
+    def reset(self) -> None:
+        self.pattern = None
+        self.phase = 0
+        self.freq = 0
+
+
+class BankEntry:
+    """Delta-pattern state for one bank of a rank."""
+
+    __slots__ = ("bank_id", "last_addr", "_matchers", "_history", "tumbling", "_pending")
+
+    def __init__(self, bank_id: int, *, tumbling: bool = False) -> None:
+        self.bank_id = bank_id
+        self.last_addr: int | None = None
+        self._matchers = [_CyclicMatcher(k) for k in (1, 2, 3)]
+        self._history: deque[int] = deque(maxlen=3)
+        self.tumbling = tumbling
+        #: tumbling-mode accumulation buffers for orders 2 and 3
+        self._pending: dict[int, list[int]] = {2: [], 3: []}
+
+    # -- field accessors matching the paper's entry layout -------------------------
+
+    @property
+    def d1(self) -> int | None:
+        """Delta1 — the order-1 pattern (a single delta)."""
+        p = self._matchers[0].pattern
+        return p[0] if p else None
+
+    @property
+    def f1(self) -> int:
+        """Frequency of the order-1 pattern."""
+        return self._matchers[0].freq
+
+    @property
+    def d2(self) -> tuple[int, int] | None:
+        """Delta2 — the order-2 pattern."""
+        return self._matchers[1].pattern  # type: ignore[return-value]
+
+    @property
+    def f2(self) -> int:
+        """Frequency of the order-2 pattern."""
+        return self._matchers[1].freq
+
+    @property
+    def d3(self) -> tuple[int, int, int] | None:
+        """Delta3 — the order-3 pattern."""
+        return self._matchers[2].pattern  # type: ignore[return-value]
+
+    @property
+    def f3(self) -> int:
+        """Frequency of the order-3 pattern."""
+        return self._matchers[2].freq
+
+    # -- updates ------------------------------------------------------------------
+
+    def update(self, addr: int) -> None:
+        """Record one access at line-offset ``addr`` within the bank."""
+        if self.last_addr is None:
+            self.last_addr = addr
+            return
+        delta = addr - self.last_addr
+        self.last_addr = addr
+        if delta == 0:
+            return  # re-access of the same line carries no pattern info
+        if self.tumbling:
+            self._update_tumbling(delta)
+        else:
+            # history must include the current delta before matchers
+            # re-anchor: an anchor of the last k deltas that *ends now* is
+            # the rotation whose next element continues the stream
+            self._history.append(delta)
+            for m in self._matchers:
+                m.update(delta, self._history)
+        if any(m.freq >= FREQ_CAP for m in self._matchers):
+            for m in self._matchers:
+                m.freq //= 2
+
+    def _update_tumbling(self, delta: int) -> None:
+        """The paper's literal tumbling-window update (ablation mode)."""
+        m1, m2, m3 = self._matchers
+        if m1.pattern is not None and delta == m1.pattern[0]:
+            m1.freq += 1
+        else:
+            m1.pattern = (delta,)
+            m1.freq = 0
+        for k, m in ((2, m2), (3, m3)):
+            buf = self._pending[k]
+            buf.append(delta)
+            if len(buf) == k:
+                tup = tuple(buf)
+                buf.clear()
+                if tup == m.pattern:
+                    m.freq += 1
+                else:
+                    m.pattern = tup
+                    m.phase = 0
+                    m.freq = 0
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> int:
+        """``f1 + f2 + f3`` — this bank's share weight in Eq. 3."""
+        return sum(m.freq for m in self._matchers)
+
+    def project(self, order: int, count: int, limit: int) -> list[int]:
+        """Extrapolate ``count`` future offsets using the order-``order`` pattern.
+
+        Projection starts at the matcher's current phase, so a period-k
+        stream continues exactly where it left off. Offsets outside
+        ``[0, limit)`` are dropped (the stream ran off the bank).
+        """
+        if order not in (1, 2, 3):
+            raise ValueError(f"pattern order must be 1, 2 or 3, got {order}")
+        if self.last_addr is None or count <= 0:
+            return []
+        m = self._matchers[order - 1]
+        if not m.pattern:
+            return []
+        out: list[int] = []
+        addr = self.last_addr
+        i = m.phase
+        while len(out) < count:
+            addr += m.pattern[i % order]
+            i += 1
+            if not 0 <= addr < limit:
+                break
+            out.append(addr)
+        return out
+
+    def reset(self) -> None:
+        """Forget all state (a new observational window begins)."""
+        self.last_addr = None
+        for m in self._matchers:
+            m.reset()
+        self._history.clear()
+        self._pending[2].clear()
+        self._pending[3].clear()
+
+
+class PredictionTable:
+    """One rank's prediction table: a :class:`BankEntry` per bank."""
+
+    def __init__(self, banks: int, lines_per_bank: int, *, tumbling: bool = False) -> None:
+        self.entries = [BankEntry(b, tumbling=tumbling) for b in range(banks)]
+        self.lines_per_bank = lines_per_bank
+
+    def update(self, bank: int, offset: int) -> None:
+        """Record an access to ``bank`` at line-offset ``offset``."""
+        self.entries[bank].update(offset)
+
+    def total_weight(self) -> int:
+        """Sum of all banks' ``f1+f2+f3`` (Eq. 3 denominator)."""
+        return sum(e.weight for e in self.entries)
+
+    def bank_budgets(self, capacity: int) -> list[int]:
+        """Split the SRAM budget across banks proportionally to weight (Eq. 3)."""
+        total = self.total_weight()
+        if total == 0:
+            return [0] * len(self.entries)
+        return [(e.weight * capacity) // total for e in self.entries]
+
+    def predict(self, capacity: int) -> list[tuple[int, int]]:
+        """Predict up to ``capacity`` (bank, offset) pairs for the next refresh.
+
+        Per Eq. 3, bank *i* receives ``weight_i / total_weight`` of the
+        budget; within a bank the budget is split across the three patterns
+        proportionally to ``f1 : f2 : f3``. The three projections of a
+        regular stream largely coincide, so after deduplication the
+        strongest pattern — if it has repeated at least
+        :data:`FILL_UP_CONFIDENCE` times — is extended until the bank
+        consumes its whole budget; weak patterns are never amplified.
+        """
+        picks: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for entry, budget in zip(self.entries, self.bank_budgets(capacity)):
+            if budget <= 0:
+                continue
+            w = entry.weight
+            freqs = (entry.f1, entry.f2, entry.f3)
+            # trust proportional to evidence: below the confidence bar a
+            # pattern that repeated f times projects at most
+            # f × FILL_UP_CONFIDENCE lines, so one-off deltas cannot flood
+            # the buffer; confident patterns get their full Eq.-3 share
+            shares = [
+                (f * budget) // w
+                if f >= FILL_UP_CONFIDENCE
+                else min((f * budget) // w, f * FILL_UP_CONFIDENCE)
+                for f in freqs
+            ]
+            strongest = max(range(3), key=lambda k: freqs[k])
+            remainder = budget - sum(shares)
+            if remainder > 0 and freqs[strongest] >= FILL_UP_CONFIDENCE:
+                shares[strongest] += remainder
+            bank_picks: list[tuple[int, int]] = []
+            for order, share in zip((1, 2, 3), shares):
+                for off in entry.project(order, share, self.lines_per_bank):
+                    key = (entry.bank_id, off)
+                    if key not in seen:
+                        seen.add(key)
+                        bank_picks.append(key)
+            deficit = budget - len(bank_picks)
+            if deficit > 0 and freqs[strongest] >= FILL_UP_CONFIDENCE:
+                for off in entry.project(
+                    strongest + 1, budget + deficit, self.lines_per_bank
+                ):
+                    key = (entry.bank_id, off)
+                    if key not in seen:
+                        seen.add(key)
+                        bank_picks.append(key)
+                        if len(bank_picks) >= budget:
+                            break
+            picks.extend(bank_picks)
+        return picks[:capacity]
+
+    def reset(self) -> None:
+        """Forget every bank's state."""
+        for e in self.entries:
+            e.reset()

@@ -1,0 +1,73 @@
+"""Prefetch decision and candidate generation (Sections IV-C and IV-D).
+
+:class:`Prefetcher` combines the three inputs of the probabilistic
+prefetch model:
+
+* the occupancy ``B`` of the observational window preceding the upcoming
+  refresh,
+* the profiler's frozen ``λ`` and ``β``,
+* the per-rank prediction table.
+
+If ``B > 0`` it prefetches with probability ``λ``; if ``B == 0`` it stays
+quiet with probability ``β``. When the throttle fires, the prediction
+table's Eq.-3 budget split produces up to ``C`` (bank, offset) candidates,
+which are translated into global line addresses for the controller to
+fetch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RopConfig
+from ..dram.address_mapping import AddressMapper
+from ..dram.request import Coord
+from .prediction_table import PredictionTable
+from .profiler import LambdaBeta
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher:
+    """Probabilistic go/no-go throttle plus candidate generation."""
+
+    def __init__(self, cfg: RopConfig, rng: np.random.Generator) -> None:
+        self.cfg = cfg
+        self.rng = rng
+        self.decisions_go = 0
+        self.decisions_skip = 0
+
+    def decide(self, b_count: int, lam_beta: LambdaBeta | None) -> bool:
+        """Should we prefetch for the upcoming refresh?
+
+        With ``probabilistic=False`` (an ablation mode) the throttle is
+        bypassed and prefetching happens whenever the window saw traffic.
+        """
+        if not self.cfg.probabilistic:
+            go = b_count > 0
+        elif lam_beta is None:
+            go = False  # no profile yet — stay quiet
+        elif b_count > 0:
+            go = self.rng.random() < lam_beta.lam
+        else:
+            go = not (self.rng.random() < lam_beta.beta)
+        if go:
+            self.decisions_go += 1
+        else:
+            self.decisions_skip += 1
+        return go
+
+    def candidate_lines(
+        self,
+        table: PredictionTable,
+        mapper: AddressMapper,
+        channel: int,
+        rank: int,
+    ) -> list[int]:
+        """Predicted global line addresses for one rank, capped at capacity."""
+        columns = mapper.org.columns
+        lines: list[int] = []
+        for bank, offset in table.predict(self.cfg.sram_lines):
+            row, col = divmod(offset, columns)
+            lines.append(mapper.encode(Coord(channel, rank, bank, row, col)))
+        return lines

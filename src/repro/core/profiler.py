@@ -1,0 +1,173 @@
+"""The Pattern Profiler (Section IV-B).
+
+During a training phase the profiler observes, for every refresh, the
+number of requests ``B`` (reads *and* writes) in an observational window
+before the refresh and the number of *read* requests ``A`` in a window
+after the refresh start. Each refresh falls into one of four categories —
+(B>0, A>0), (B>0, A=0), (B=0, A>0), (B=0, A=0) — and from the category
+counts the profiler computes the two conditional probabilities that
+throttle prefetching:
+
+.. math::
+
+    λ = P\\{A>0 \\mid B>0\\} \\qquad β = P\\{A=0 \\mid B=0\\}
+
+``A`` looks *forward* in time, so each refresh opens a pending record that
+is finalized once simulated time passes the end of its A-window; callers
+drive that with :meth:`PatternProfiler.advance`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["CategoryCounts", "LambdaBeta", "PatternProfiler"]
+
+
+@dataclass
+class CategoryCounts:
+    """Occurrences of the four (B, A) refresh categories."""
+
+    b_pos_a_pos: int = 0  #: E1 — requests both before and after
+    b_pos_a_zero: int = 0
+    b_zero_a_pos: int = 0
+    b_zero_a_zero: int = 0  #: E2 — quiet before and after
+
+    @property
+    def total(self) -> int:
+        """Refreshes categorized so far."""
+        return (
+            self.b_pos_a_pos
+            + self.b_pos_a_zero
+            + self.b_zero_a_pos
+            + self.b_zero_a_zero
+        )
+
+    @property
+    def dominant_fraction(self) -> float:
+        """Fraction covered by E1 + E2 (the paper's Fig. 4 metric)."""
+        t = self.total
+        if t == 0:
+            return 0.0
+        return (self.b_pos_a_pos + self.b_zero_a_zero) / t
+
+
+@dataclass(frozen=True)
+class LambdaBeta:
+    """The profiler's output probabilities.
+
+    When a conditional is undefined (its condition never occurred during
+    training) we default optimistically: ``λ = 1.0`` (prefetch when there
+    is evidence) and ``β = 1.0`` (stay quiet when there is none) — both
+    choices are safe because the undefined branch was never exercised.
+    """
+
+    lam: float
+    beta: float
+
+
+class _PendingRefresh:
+    """A refresh whose A-window is still open."""
+
+    __slots__ = ("start", "deadline", "b_count", "a_count")
+
+    def __init__(self, start: int, deadline: int, b_count: int) -> None:
+        self.start = start
+        self.deadline = deadline
+        self.b_count = b_count
+        self.a_count = 0
+
+
+class PatternProfiler:
+    """Per-rank window statistics and λ/β computation."""
+
+    def __init__(self, window: int, a_window: int | None = None) -> None:
+        if window <= 0:
+            raise ValueError(f"observational window must be positive, got {window}")
+        self.window = window
+        self.a_window = a_window if a_window is not None else window
+        #: recent request arrivals: (cycle, is_read); pruned past the window
+        self._arrivals: deque[tuple[int, bool]] = deque()
+        self._pending: list[_PendingRefresh] = []
+        self.counts = CategoryCounts()
+
+    # -- event feed ---------------------------------------------------------------
+
+    def on_request(self, cycle: int, is_read: bool) -> None:
+        """Record a demand request arrival to this rank."""
+        self.advance(cycle)
+        self._arrivals.append((cycle, is_read))
+        if is_read:
+            for rec in self._pending:
+                if rec.start <= cycle < rec.deadline:
+                    rec.a_count += 1
+
+    def on_refresh(self, start: int) -> None:
+        """Record a refresh starting at ``start``; opens its A-window."""
+        self.advance(start)
+        b = self.count_in_window(start)
+        self._pending.append(_PendingRefresh(start, start + self.a_window, b))
+
+    def advance(self, cycle: int) -> None:
+        """Finalize pending refreshes whose A-window closed before ``cycle``
+        and prune arrivals that can no longer fall in any B-window."""
+        if self._pending:
+            still_open = []
+            for rec in self._pending:
+                if rec.deadline <= cycle:
+                    self._categorize(rec)
+                else:
+                    still_open.append(rec)
+            self._pending = still_open
+        horizon = cycle - self.window
+        while self._arrivals and self._arrivals[0][0] < horizon:
+            self._arrivals.popleft()
+
+    def finalize(self, cycle: int | None = None) -> None:
+        """Force-close every pending record (end of a training phase/run)."""
+        for rec in self._pending:
+            self._categorize(rec)
+        self._pending.clear()
+        if cycle is not None:
+            self.advance(cycle)
+
+    # -- queries ------------------------------------------------------------------
+
+    def count_in_window(self, cycle: int) -> int:
+        """Requests (reads + writes) observed in ``[cycle - window, cycle)``."""
+        lo = cycle - self.window
+        return sum(1 for t, _ in self._arrivals if lo <= t < cycle)
+
+    def lambda_beta(self) -> LambdaBeta:
+        """Current λ and β from the category counts."""
+        c = self.counts
+        b_pos = c.b_pos_a_pos + c.b_pos_a_zero
+        b_zero = c.b_zero_a_pos + c.b_zero_a_zero
+        lam = c.b_pos_a_pos / b_pos if b_pos else 1.0
+        beta = c.b_zero_a_zero / b_zero if b_zero else 1.0
+        return LambdaBeta(lam, beta)
+
+    @property
+    def refreshes_profiled(self) -> int:
+        """Refreshes fully categorized so far."""
+        return self.counts.total
+
+    def reset(self) -> None:
+        """Clear counts for a fresh training phase (arrivals are kept)."""
+        self.counts = CategoryCounts()
+        self._pending.clear()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _categorize(self, rec: _PendingRefresh) -> None:
+        c = self.counts
+        if rec.b_count > 0:
+            if rec.a_count > 0:
+                c.b_pos_a_pos += 1
+            else:
+                c.b_pos_a_zero += 1
+        elif rec.a_count > 0:
+            c.b_zero_a_pos += 1
+        else:
+            c.b_zero_a_zero += 1

@@ -1,0 +1,313 @@
+"""The ROP engine: glue between the memory controller and the paper's
+four added modules (Pattern Profiler, Prefetcher, SRAM Buffer, and the
+refresh-timing feed from the Refresh Manager).
+
+The engine implements the controller's ROP hook protocol (see
+:mod:`repro.dram.controller`). Responsibilities:
+
+* observe every demand request: feed the per-rank profiler and — while the
+  request falls inside the rank's observational window — the per-rank
+  prediction table;
+* at each refresh: in *Training*, record (B, A) statistics; in *Observing*,
+  make the probabilistic go/no-go decision and emit prefetch candidates;
+* track per-lock arrivals/hits and drive the hit-rate fallback to
+  Training;
+* own the shared SRAM buffer that ranks take turns using.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..dram.request import Request
+from ..rng import make_rng
+from .prediction_table import PredictionTable
+from .prefetcher import Prefetcher
+from .profiler import LambdaBeta, PatternProfiler
+from .sram_buffer import SramBuffer
+from .state_machine import RopState, RopStateMachine
+
+__all__ = ["RopEngine", "LockRecord"]
+
+
+@dataclass
+class LockRecord:
+    """One refresh lock window and its SRAM service outcome."""
+
+    channel: int
+    rank: int
+    start: int
+    end: int
+    armed: bool  #: buffer was filled for this lock
+    arrivals: int = 0  #: demand reads arriving while frozen
+    hits: int = 0  #: of those, serviced from the SRAM buffer
+
+
+class RopEngine:
+    """Refresh-Oriented Prefetching, wired into a memory controller."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.cfg = config
+        self.rop = config.rop
+        self.t = config.effective_timings()
+        self.window = self.rop.window_cycles(self.t)
+        org = config.organization
+        self.buffer = SramBuffer(self.rop.sram_lines)
+        self.sm = RopStateMachine(
+            self.rop.training_refreshes,
+            self.rop.hit_rate_threshold,
+            self.rop.hit_rate_window,
+            min_buffer_utilization=self.rop.min_buffer_utilization,
+            training_backoff_cap=self.rop.training_backoff_cap,
+        )
+        self.prefetcher = Prefetcher(self.rop, make_rng(self.rop.seed, "rop-throttle"))
+        self.profilers: dict[tuple[int, int], PatternProfiler] = {}
+        self.tables: dict[tuple[int, int], PredictionTable] = {}
+        self.lam_beta: dict[tuple[int, int], LambdaBeta | None] = {}
+        for ch in range(org.channels):
+            for rk in range(org.ranks):
+                key = (ch, rk)
+                self.profilers[key] = PatternProfiler(self.window)
+                self.tables[key] = PredictionTable(org.banks, org.lines_per_bank)
+                self.lam_beta[key] = None
+        self._locks: list[LockRecord] = []
+        self.closed_locks: list[LockRecord] = []
+        #: keep only aggregate outcomes beyond this many closed locks
+        self.keep_lock_history = 4096
+        self._armed_locks = 0
+        self._armed_arrivals = 0
+        self._armed_hits = 0
+        #: current buffer tenure: (fills, buffer-hit counter at fill time)
+        self._tenure: tuple[int, int] | None = None
+        #: per-rank EMA of reads arriving per refresh lock
+        self._lock_demand_ema: dict[tuple[int, int], float] = {
+            key: 0.0 for key in self.profilers
+        }
+        #: EMA of lines usefully consumed per buffer tenure (adaptive
+        #: depth); seeded optimistically so the first armings fill deep and
+        #: the estimate decays to the workload's real appetite
+        self._consumed_ema: float = float(self.rop.sram_lines) / 2.0
+        #: (cycle, busy_cycles) snapshot for the bus-pressure guard
+        self._bus_snapshot: dict[int, tuple[int, int]] = {}
+        self.pressure_skips = 0
+        # bound to a controller by MemorySystem
+        self._controller = None
+        self._refresh_mgr = None
+        self._mapper = None
+
+    # ------------------------------------------------------------------ binding
+
+    def bind(self, controller) -> None:
+        """Attach to the controller whose traffic this engine observes."""
+        self._controller = controller
+        self._refresh_mgr = controller.refresh_mgr
+        self._mapper = controller.mapper
+
+    def next_refresh_due(self, channel: int, rank: int, cycle: int) -> int:
+        """Next tREFI grid tick for a rank at or after ``cycle``."""
+        first = self._refresh_mgr.first_tick(channel, rank)
+        period = self._refresh_mgr.period
+        if cycle <= first:
+            return first
+        k = -((first - cycle) // period)  # ceil((cycle - first) / period)
+        return first + k * period
+
+    def in_observational_window(self, channel: int, rank: int, cycle: int) -> bool:
+        """Is ``cycle`` within the window preceding the rank's next refresh?"""
+        return self.next_refresh_due(channel, rank, cycle) - cycle <= self.window
+
+    # ------------------------------------------------------------------ hooks
+
+    def on_request(self, req: Request, cycle: int) -> None:
+        """Observe one demand request (controller hook)."""
+        self._close_stale_locks(cycle)
+        key = (req.coord.channel, req.coord.rank)
+        self.profilers[key].on_request(cycle, req.is_read)
+        if (req.is_read or not self.rop.table_reads_only) and self.in_observational_window(
+            *key, cycle
+        ):
+            offset = req.coord.row * self._mapper.org.columns + req.coord.col
+            self.tables[key].update(req.coord.bank, offset)
+
+    def sram_lookup(self, line: int) -> bool:
+        """Probe the buffer (controller hook; no side effects)."""
+        return not self.sm.is_training and self.buffer.lookup(line)
+
+    def on_sram_hit(self, req: Request, cycle: int, in_lock: bool) -> None:
+        """A read was serviced from the buffer (controller hook)."""
+        self.buffer.consume(req.line)
+        if in_lock:
+            rec = self._find_lock(req.coord.channel, req.coord.rank, cycle)
+            if rec is not None:
+                rec.hits += 1
+
+    def on_read_arrival_in_lock(self, channel: int, rank: int, cycle: int) -> None:
+        """A demand read arrived at a frozen rank (controller hook)."""
+        rec = self._find_lock(channel, rank, cycle)
+        if rec is not None:
+            rec.arrivals += 1
+
+    def invalidate_line(self, line: int) -> None:
+        """A demand write made a buffered line stale (controller hook)."""
+        self.buffer.invalidate(line)
+
+    def plan_prefetch(self, channel: int, rank: int, cycle: int) -> list[int]:
+        """Lines to prefetch for the refresh about to start (controller hook)."""
+        self._close_stale_locks(cycle)
+        if self.sm.is_training:
+            return []
+        key = (channel, rank)
+        if self._bus_pressure(channel, cycle) > self.rop.bus_pressure_limit:
+            self.pressure_skips += 1
+            if self._controller is not None:
+                self._controller.stats.prefetch_skipped += 1
+            return []
+        b_count = self.profilers[key].count_in_window(cycle)
+        if not self.prefetcher.decide(b_count, self.lam_beta[key]):
+            if self._controller is not None:
+                self._controller.stats.prefetch_skipped += 1
+            return []
+        self.sm.begin_prefetch()
+        lines = self.prefetcher.candidate_lines(
+            self.tables[key], self._mapper, channel, rank
+        )
+        if self.rop.adaptive_depth and lines:
+            depth = max(8, int(2.0 * self._consumed_ema) + 8)
+            lines = lines[:depth]
+        if not lines:
+            self.sm.end_prefetch()
+            if self._controller is not None:
+                self._controller.stats.prefetch_skipped += 1
+        return lines
+
+    def on_prefetch_fill(self, channel: int, rank: int, lines: list[int], cycle: int) -> None:
+        """Prefetched lines landed in the buffer (controller hook)."""
+        self._close_tenure()
+        stored = self.buffer.refill((channel, rank), lines)
+        self._tenure = (stored, self.buffer.hits)
+        self.sm.end_prefetch()
+
+    def on_refresh_executed(self, channel: int, rank: int, start: int, end: int) -> None:
+        """A refresh lock [start, end) began (controller hook)."""
+        key = (channel, rank)
+        if self.sm.is_training:
+            self.profilers[key].on_refresh(start)
+            self._maybe_finish_training(start)
+        armed = self.buffer.owner == key and len(self.buffer) > 0
+        self._locks.append(LockRecord(channel, rank, start, end, armed))
+        # The prediction table records patterns *per observational window*
+        # (Section IV-C); the refresh closes this rank's window, so start a
+        # fresh one — frequencies then weight banks by recent activity.
+        self.tables[key].reset()
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def state(self) -> RopState:
+        """Current ROP operating state."""
+        return self.sm.state
+
+    def lock_hit_rate(self) -> float:
+        """Hit rate over all closed *armed* locks (Fig. 9 metric, armed only)."""
+        if self._armed_arrivals == 0:
+            return 0.0
+        return self._armed_hits / self._armed_arrivals
+
+    def summary(self) -> dict:
+        """Run-level ROP summary for reporting."""
+        return {
+            "state": self.sm.state.value,
+            "lam_beta": {
+                f"ch{ch}.rank{rk}": (lb.lam, lb.beta) if lb else None
+                for (ch, rk), lb in self.lam_beta.items()
+            },
+            "armed_locks": self._armed_locks,
+            "armed_arrivals": self._armed_arrivals,
+            "armed_hits": self._armed_hits,
+            "armed_hit_rate": self.lock_hit_rate(),
+            "retrains": self.sm.retrain_count,
+            "buffer_fills": self.buffer.fills,
+            "buffer_hits": self.buffer.hits,
+            "buffer_invalidations": self.buffer.invalidations,
+            "decisions_go": self.prefetcher.decisions_go,
+            "decisions_skip": self.prefetcher.decisions_skip,
+        }
+
+    def finalize(self, cycle: int) -> None:
+        """Close every open lock and pending profiler record (end of run)."""
+        for key, prof in self.profilers.items():
+            prof.finalize(cycle)
+        self._close_stale_locks(cycle, force=True)
+
+    # ------------------------------------------------------------------ internals
+
+    def _find_lock(self, channel: int, rank: int, cycle: int) -> LockRecord | None:
+        for rec in reversed(self._locks):
+            if rec.channel == channel and rec.rank == rank and rec.start <= cycle < rec.end:
+                return rec
+        return None
+
+    def _close_stale_locks(self, cycle: int, force: bool = False) -> None:
+        if not self._locks:
+            return
+        still_open: list[LockRecord] = []
+        for rec in self._locks:
+            if force or rec.end <= cycle:
+                key = (rec.channel, rec.rank)
+                self._lock_demand_ema[key] = (
+                    0.75 * self._lock_demand_ema[key] + 0.25 * rec.arrivals
+                )
+                if rec.armed:
+                    self._armed_locks += 1
+                    self._armed_arrivals += rec.arrivals
+                    self._armed_hits += rec.hits
+                    if self.sm.on_lock_outcome(rec.arrivals, rec.hits):
+                        self._on_retrain()
+                if len(self.closed_locks) < self.keep_lock_history:
+                    self.closed_locks.append(rec)
+            else:
+                still_open.append(rec)
+        self._locks = still_open
+
+    def _bus_pressure(self, channel: int, cycle: int) -> float:
+        """Data-bus utilization of ``channel`` since the previous probe."""
+        if self._controller is None:
+            return 0.0
+        ch = self._controller.channels[channel]
+        last_cycle, last_busy = self._bus_snapshot.get(channel, (0, 0))
+        self._bus_snapshot[channel] = (cycle, ch.busy_cycles)
+        elapsed = cycle - last_cycle
+        if elapsed <= 0:
+            return 0.0
+        return (ch.busy_cycles - last_busy) / elapsed
+
+    def _close_tenure(self) -> None:
+        """Score the outgoing buffer contents against the harm guard."""
+        if self._tenure is None:
+            return
+        fills, hits_base = self._tenure
+        self._tenure = None
+        consumed = self.buffer.hits - hits_base
+        self._consumed_ema = 0.75 * self._consumed_ema + 0.25 * consumed
+        if self.sm.on_buffer_outcome(fills, consumed):
+            self._on_retrain()
+
+    def _on_retrain(self) -> None:
+        """Hit rate collapsed: re-enter Training with fresh profiles."""
+        self.buffer.flush()
+        self._tenure = None
+        for key in self.profilers:
+            self.profilers[key].reset()
+            self.lam_beta[key] = None
+
+    def _maybe_finish_training(self, cycle: int) -> None:
+        for prof in self.profilers.values():
+            prof.advance(cycle)
+        if all(
+            p.refreshes_profiled >= self.sm.effective_training_refreshes
+            for p in self.profilers.values()
+        ):
+            for key, prof in self.profilers.items():
+                self.lam_beta[key] = prof.lambda_beta()
+            self.sm.complete_training()

@@ -1,0 +1,75 @@
+"""The fully-associative SRAM prefetch buffer inside the memory controller.
+
+The buffer holds whole cache lines prefetched for the *next* refresh; ranks
+sharing the refresh circuit take turns using it, so each arming flushes the
+previous contents (:meth:`SramBuffer.refill`). Demand writes to buffered
+lines invalidate them — the DRAM write queue stays authoritative, so no
+write-back path is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["SramBuffer"]
+
+
+class SramBuffer:
+    """Fixed-capacity, fully-associative line buffer."""
+
+    __slots__ = ("capacity", "_lines", "owner", "fills", "hits", "invalidations")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"SRAM capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lines: set[int] = set()
+        #: (channel, rank) the current contents were prefetched for
+        self.owner: tuple[int, int] | None = None
+        self.fills = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def lookup(self, line: int) -> bool:
+        """True if ``line`` is buffered (does not count a hit)."""
+        return line in self._lines
+
+    def consume(self, line: int) -> bool:
+        """Service a read: returns True and counts a hit if buffered."""
+        if line in self._lines:
+            self.hits += 1
+            return True
+        return False
+
+    def refill(self, owner: tuple[int, int], lines: Iterable[int]) -> int:
+        """Flush and load prefetched ``lines`` (truncated to capacity).
+
+        Returns the number of lines actually stored.
+        """
+        self._lines.clear()
+        for line in lines:
+            if len(self._lines) >= self.capacity:
+                break
+            self._lines.add(line)
+        self.owner = owner
+        self.fills += len(self._lines)
+        return len(self._lines)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` (a demand write made it stale). True if present."""
+        if line in self._lines:
+            self._lines.discard(line)
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the buffer (profiling phases keep it powered off)."""
+        self._lines.clear()
+        self.owner = None

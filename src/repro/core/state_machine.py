@@ -1,0 +1,164 @@
+"""ROP's three-state control loop (end of Section IV-C).
+
+The memory (per controller, shared across ranks) is in one of three
+states:
+
+* **Training** — the Pattern Profiler gathers (B, A) statistics for a
+  configured number of refreshes; the SRAM buffer is powered off.
+* **Observing** — λ and β are frozen; before each refresh the prefetcher
+  makes a probabilistic go/no-go decision.
+* **Prefetching** — a transient state while predicted lines are fetched
+  into the buffer ahead of an imminent refresh.
+
+A sliding window of recent *armed* refreshes tracks the SRAM hit rate
+(hits ÷ reads arriving during the lock); if it drops below the threshold
+the machine falls back to Training and re-profiles.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+__all__ = ["RopState", "RopStateMachine"]
+
+
+class RopState(enum.Enum):
+    """Operating state of the ROP engine."""
+
+    TRAINING = "training"
+    OBSERVING = "observing"
+    PREFETCHING = "prefetching"
+
+
+class RopStateMachine:
+    """Training/Observing/Prefetching transitions with hit-rate fallback."""
+
+    def __init__(
+        self,
+        training_refreshes: int,
+        hit_rate_threshold: float,
+        hit_rate_window: int,
+        *,
+        min_buffer_utilization: float = 0.0,
+        training_backoff_cap: int = 1,
+    ) -> None:
+        self.training_refreshes = training_refreshes
+        self.hit_rate_threshold = hit_rate_threshold
+        self.hit_rate_window = hit_rate_window
+        self.min_buffer_utilization = min_buffer_utilization
+        self.training_backoff_cap = max(1, training_backoff_cap)
+        self.state = RopState.TRAINING
+        self._training_seen = 0
+        #: multiplier applied to the next training length (backoff)
+        self._backoff = 1
+        #: (arrivals, hits) of recent armed refresh locks
+        self._recent: deque[tuple[int, int]] = deque(maxlen=hit_rate_window)
+        #: (fills, consumed) of recent buffer tenures (harm guard); trips on
+        #: a shorter window than the hit-rate check — useless prefetching
+        #: costs bandwidth every tREFI, so detection must be prompt
+        self._recent_util: deque[tuple[int, int]] = deque(
+            maxlen=max(4, hit_rate_window // 2)
+        )
+        self.retrain_count = 0
+        self.phases_completed = 0
+
+    # -- training -----------------------------------------------------------------
+
+    def on_training_refresh(self) -> bool:
+        """Count one profiled refresh; returns True when training completes."""
+        if self.state is not RopState.TRAINING:
+            return False
+        self._training_seen += 1
+        if self._training_seen >= self.training_refreshes:
+            self.complete_training()
+            return True
+        return False
+
+    def complete_training(self) -> None:
+        """Force the Training → Observing transition (multi-rank drivers
+        complete training when every rank's profiler is full)."""
+        if self.state is RopState.TRAINING:
+            self.state = RopState.OBSERVING
+            self.phases_completed += 1
+            self._training_seen = 0
+
+    @property
+    def effective_training_refreshes(self) -> int:
+        """Training length including the retrain backoff multiplier."""
+        return self.training_refreshes * self._backoff
+
+    # -- observing / prefetching ---------------------------------------------------
+
+    def begin_prefetch(self) -> None:
+        """Enter the transient Prefetching state for one refresh."""
+        if self.state is RopState.OBSERVING:
+            self.state = RopState.PREFETCHING
+
+    def end_prefetch(self) -> None:
+        """Return to Observing after the refresh lock is armed."""
+        if self.state is RopState.PREFETCHING:
+            self.state = RopState.OBSERVING
+
+    def on_lock_outcome(self, arrivals: int, hits: int) -> bool:
+        """Feed one armed lock's result; returns True if retraining triggered.
+
+        Only locks that saw at least one read arrival are informative; a
+        quiet lock says nothing about prediction quality.
+        """
+        if arrivals <= 0:
+            return False
+        self._recent.append((arrivals, hits))
+        if (
+            self.state is not RopState.TRAINING
+            and len(self._recent) == self.hit_rate_window
+        ):
+            total_arrivals = sum(a for a, _ in self._recent)
+            total_hits = sum(h for _, h in self._recent)
+            if total_arrivals and total_hits / total_arrivals < self.hit_rate_threshold:
+                self._retrain()
+                return True
+        return False
+
+    def on_buffer_outcome(self, fills: int, consumed: int) -> bool:
+        """Feed one buffer tenure's utilization; True if retraining triggered.
+
+        The harm guard: when almost none of the prefetched lines are ever
+        read, prefetching burns DRAM bandwidth each tREFI for nothing and
+        the engine must fall back to Training regardless of the (possibly
+        uninformative) in-lock hit rate.
+        """
+        if fills <= 0 or self.min_buffer_utilization <= 0.0:
+            return False
+        self._recent_util.append((fills, consumed))
+        if (
+            self.state is not RopState.TRAINING
+            and len(self._recent_util) == self._recent_util.maxlen
+        ):
+            total_fills = sum(f for f, _ in self._recent_util)
+            total_used = sum(c for _, c in self._recent_util)
+            if total_fills and total_used / total_fills < self.min_buffer_utilization:
+                self._retrain()
+                return True
+        return False
+
+    @property
+    def recent_hit_rate(self) -> float:
+        """Hit rate over the sliding outcome window."""
+        total_arrivals = sum(a for a, _ in self._recent)
+        if total_arrivals == 0:
+            return 0.0
+        return sum(h for _, h in self._recent) / total_arrivals
+
+    @property
+    def is_training(self) -> bool:
+        """True while profiling (buffer off, no prefetching)."""
+        return self.state is RopState.TRAINING
+
+    def _retrain(self) -> None:
+        self.state = RopState.TRAINING
+        self._training_seen = 0
+        self._recent.clear()
+        self._recent_util.clear()
+        self.retrain_count += 1
+        self._backoff = min(self._backoff * 2, self.training_backoff_cap)

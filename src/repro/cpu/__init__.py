@@ -1,0 +1,15 @@
+"""CPU-side substrates: trace-driven cores and the LLC filter."""
+
+from .core import Core
+from .llc import Llc, LlcResult, filter_trace
+from .multicore import CoreResult, MulticoreResult, run_cores
+
+__all__ = [
+    "Core",
+    "Llc",
+    "LlcResult",
+    "filter_trace",
+    "CoreResult",
+    "MulticoreResult",
+    "run_cores",
+]

@@ -1,0 +1,140 @@
+"""Trace-driven core model — the reproduction's Zsim/Pin stand-in.
+
+The core replays a *memory-level* trace (LLC misses + write-backs) against
+a shared :class:`~repro.dram.memory_system.MemorySystem` on the same event
+queue:
+
+* between memory requests it retires instructions at ``base_cpi`` CPU
+  cycles each (CPU clock = ``cpu_clock_mult`` × the controller clock);
+* demand reads are overlapped up to ``mlp`` outstanding misses — a
+  reorder-buffer proxy: issuing the ``mlp``-th read stalls the core until
+  one returns;
+* writes (write-backs) are posted to the controller's write queue and
+  never stall the core.
+
+IPC is measured in CPU cycles over the core's *own* instruction count, the
+quantity the paper's weighted-speedup metric (Eq. 4) is built from.
+"""
+
+from __future__ import annotations
+
+from ..config import CoreConfig
+from ..dram.memory_system import MemorySystem
+from ..workloads.trace import AccessTrace
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One trace-replaying core attached to a memory system."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: AccessTrace,
+        memory: MemorySystem,
+        cfg: CoreConfig,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.memory = memory
+        self.cfg = cfg
+        self.events = memory.events
+        # program state
+        self._idx = 0
+        self._outstanding = 0
+        self._stalled = False
+        #: core-local clock in CPU cycles
+        self._cpu_time = 0
+        self.finished = False
+        self.finish_cycle = 0  #: memory-controller cycle of completion
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.stall_events = 0
+        # hot-loop local copies of the trace arrays
+        self._gaps = trace.gaps.tolist()
+        self._lines = trace.lines.tolist()
+        self._writes = trace.writes.tolist()
+
+    # ------------------------------------------------------------------ driving
+
+    def start(self) -> None:
+        """Schedule the first memory access (call once before running)."""
+        if not self._lines:
+            self.finished = True
+            return
+        self._advance_to_next_op()
+
+    def _mem_cycle(self) -> int:
+        """Current core time converted to memory-controller cycles (ceil)."""
+        m = self.cfg.cpu_clock_mult
+        return -(-self._cpu_time // m)
+
+    def _advance_to_next_op(self) -> None:
+        """Account the instruction gap and schedule the next access event."""
+        gap_cpu = int(self._gaps[self._idx] * self.cfg.base_cpi)
+        self._cpu_time += gap_cpu
+        when = max(self._mem_cycle(), self.events.now)
+        self.events.push(when, self._do_op)
+
+    def _do_op(self, cycle: int) -> None:
+        """Issue the current trace access into the memory system.
+
+        The event fires at ``ceil(cpu_time / mult)``; the core clock itself
+        is NOT snapped to the memory cycle — ops denser than one per memory
+        cycle must not each pay a whole memory cycle.
+        """
+        i = self._idx
+        line = self._lines[i]
+        if self._writes[i]:
+            self.memory.submit_write(line, cycle, core_id=self.core_id)
+            self.writes_issued += 1
+        else:
+            self.memory.submit_read(
+                line, cycle, core_id=self.core_id, on_complete=self._on_read_done
+            )
+            self.reads_issued += 1
+            self._outstanding += 1
+        self._idx += 1
+        if self._idx >= len(self._lines):
+            self._maybe_finish(cycle)
+            return
+        if self._outstanding >= self.cfg.mlp:
+            self._stalled = True
+            self.stall_events += 1
+        else:
+            self._advance_to_next_op()
+
+    def _on_read_done(self, cycle: int) -> None:
+        self._outstanding -= 1
+        self._cpu_time = max(self._cpu_time, cycle * self.cfg.cpu_clock_mult)
+        if self.finished:
+            return
+        if self._idx >= len(self._lines):
+            self._maybe_finish(cycle)
+            return
+        if self._stalled:
+            self._stalled = False
+            self._advance_to_next_op()
+
+    def _maybe_finish(self, cycle: int) -> None:
+        """Retire once the trace is replayed and all reads returned."""
+        if self._idx >= len(self._lines) and self._outstanding == 0 and not self.finished:
+            self._cpu_time += int(self.trace.tail_instructions * self.cfg.base_cpi)
+            self.finished = True
+            self.finish_cycle = max(self._mem_cycle(), cycle)
+
+    # ------------------------------------------------------------------ results
+
+    @property
+    def cpu_cycles(self) -> int:
+        """CPU cycles the program took (valid once finished)."""
+        return self.finish_cycle * self.cfg.cpu_clock_mult
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per CPU cycle over the whole run."""
+        cycles = self.cpu_cycles
+        if cycles <= 0:
+            return 0.0
+        return self.trace.total_instructions / cycles

@@ -1,0 +1,140 @@
+"""Last-level cache model: a set-associative, write-back, write-allocate
+LRU cache that filters a CPU-level access trace into the memory-level
+trace the DRAM controller sees.
+
+Cache hit/miss outcomes depend only on the *order* of accesses, never on
+their timing, so the filter runs once as a pure function and the resulting
+memory trace can be reused across every memory configuration — the
+decoupling that keeps the paper's LLC-size sensitivity sweeps affordable
+(see DESIGN.md §5).
+
+The LLC is the component that creates the bursty, pattern-bearing traffic
+ROP's profiler exploits: hit runs produce silence at the memory level,
+miss runs produce dense multi-delta request trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import LlcConfig
+from ..workloads.trace import AccessTrace
+
+__all__ = ["LlcResult", "Llc", "filter_trace"]
+
+
+@dataclass(frozen=True)
+class LlcResult:
+    """Output of one LLC filtering pass."""
+
+    memory_trace: AccessTrace  #: misses + write-backs, in program order
+    accesses: int  #: CPU-level accesses observed
+    misses: int  #: demand misses (loads and stores)
+    writebacks: int  #: dirty evictions emitted
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate (misses / accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Llc:
+    """Streaming set-associative LRU cache (write-back, write-allocate).
+
+    Each set is a dict mapping line → dirty flag; dict insertion order
+    doubles as LRU order (oldest first), so a hit is re-inserted to move it
+    to MRU and eviction pops the first key.
+    """
+
+    def __init__(self, cfg: LlcConfig) -> None:
+        self.cfg = cfg
+        self.num_sets = cfg.sets
+        self.ways = cfg.ways
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, line: int, is_write: bool) -> tuple[bool, int | None]:
+        """One access; returns ``(miss, evicted_dirty_line_or_None)``."""
+        self.accesses += 1
+        s = self._sets[line & (self.num_sets - 1)]
+        if line in s:
+            dirty = s.pop(line)
+            s[line] = dirty or is_write
+            return False, None
+        self.misses += 1
+        victim: int | None = None
+        if len(s) >= self.ways:
+            vline, vdirty = next(iter(s.items()))
+            del s[vline]
+            if vdirty:
+                self.writebacks += 1
+                victim = vline
+        s[line] = is_write
+        return True, victim
+
+    def contains(self, line: int) -> bool:
+        """True if ``line`` is currently cached."""
+        return line in self._sets[line & (self.num_sets - 1)]
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+
+def filter_trace(trace: AccessTrace, cfg: LlcConfig) -> LlcResult:
+    """Filter a CPU-level trace through the LLC (pure function).
+
+    Misses become memory reads (write-allocate fetches stores too);
+    dirty evictions become memory writes with a zero instruction gap.
+    """
+    cache = Llc(cfg)
+    num_sets = cache.num_sets
+    ways = cache.ways
+    sets = cache._sets
+    out_gaps: list[int] = []
+    out_lines: list[int] = []
+    out_writes: list[bool] = []
+    pending = 0
+    # local bindings for the hot loop
+    gaps = trace.gaps.tolist()
+    lines = trace.lines.tolist()
+    writes = trace.writes.tolist()
+    misses = 0
+    writebacks = 0
+    mask = num_sets - 1
+    for gap, line, wr in zip(gaps, lines, writes):
+        pending += gap
+        s = sets[line & mask]
+        if line in s:
+            dirty = s.pop(line)
+            s[line] = dirty or wr
+            continue
+        misses += 1
+        out_gaps.append(pending)
+        out_lines.append(line)
+        out_writes.append(False)
+        pending = 0
+        if len(s) >= ways:
+            vline = next(iter(s))
+            vdirty = s.pop(vline)
+            if vdirty:
+                writebacks += 1
+                out_gaps.append(0)
+                out_lines.append(vline)
+                out_writes.append(True)
+        s[line] = wr
+    cache.accesses = len(lines)
+    cache.misses = misses
+    cache.writebacks = writebacks
+    mem = AccessTrace(
+        np.asarray(out_gaps, dtype=np.int64),
+        np.asarray(out_lines, dtype=np.int64),
+        np.asarray(out_writes, dtype=bool),
+        tail_instructions=pending + trace.tail_instructions,
+    )
+    return LlcResult(mem, len(lines), misses, writebacks)

@@ -1,0 +1,27 @@
+"""DDR4 memory-system substrate (the reproduction's DRAMSim2 stand-in)."""
+
+from .address_mapping import AddressMapper
+from .bank import AccessPlan, Bank
+from .controller import MemoryController
+from .memory_system import MemorySystem
+from .rank import Rank
+from .refresh import RefreshManager
+from .request import Coord, ReqKind, Request, ServiceKind
+from .timings import DDR4_1600, DDR4_2400, DramTimings
+
+__all__ = [
+    "AddressMapper",
+    "AccessPlan",
+    "Bank",
+    "MemoryController",
+    "MemorySystem",
+    "Rank",
+    "RefreshManager",
+    "Coord",
+    "ReqKind",
+    "Request",
+    "ServiceKind",
+    "DDR4_1600",
+    "DDR4_2400",
+    "DramTimings",
+]

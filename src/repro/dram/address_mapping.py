@@ -1,0 +1,167 @@
+"""Physical-address interleaving: cache-line index ↔ DRAM coordinates.
+
+Three schemes are provided:
+
+* :class:`AddressMapScheme.ROW_RANK_BANK_COL` — conventional fine-grained
+  interleaving. From the least-significant line-address bit upward:
+  column, bank, rank, channel, row. Consecutive cache lines fill a DRAM
+  row, then hop to the next bank, maximizing bank-level parallelism for a
+  single stream (kept for comparison/ablation; it destroys the bank
+  locality ROP's per-bank prediction table exploits).
+
+* :class:`AddressMapScheme.BANK_LOCALITY` — the experiment default.
+  Column and the low row bits sit below the bank bits, so a stream dwells
+  in one bank for ``columns × 2^row_low_bits`` lines (512 KB with the
+  defaults) before moving on. This is the bank-locality organization the
+  paper leans on ("many applications exhibit bank locality [22]"):
+  the per-window prediction table then sees one or two hot banks and the
+  Eq.-3 budget concentrates where the stream actually is.
+
+* :class:`AddressMapScheme.RANK_PARTITIONED` — the paper's *Rank-aware
+  Mapping* for multi-programmed runs: the rank index comes from the top
+  address bits (each application's footprint pins to one rank) and the
+  intra-rank layout is the bank-locality one.
+
+Both directions (``decode`` / ``encode``) are exposed; they are exact
+inverses, which the property tests rely on.
+"""
+
+from __future__ import annotations
+
+from ..config import AddressMapScheme, MemoryOrganization
+from .request import Coord
+
+__all__ = ["AddressMapper", "DEFAULT_ROW_LOW_BITS"]
+
+#: low row bits kept below the bank bits in the bank-locality schemes;
+#: 6 bits × 128 columns = 8 K lines (512 KB) of per-bank dwell.
+DEFAULT_ROW_LOW_BITS = 6
+
+
+def _floor_log2(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+class AddressMapper:
+    """Bidirectional cache-line address ↔ :class:`Coord` translator."""
+
+    def __init__(
+        self,
+        org: MemoryOrganization,
+        scheme: AddressMapScheme,
+        row_low_bits: int = DEFAULT_ROW_LOW_BITS,
+    ) -> None:
+        self.org = org
+        self.scheme = scheme
+        # All geometry fields must be powers of two for bit-sliced mapping.
+        self._col_bits = _floor_log2(org.columns)
+        self._bank_bits = _floor_log2(org.banks)
+        self._rank_bits = _floor_log2(org.ranks)
+        self._chan_bits = _floor_log2(org.channels)
+        self._row_bits = _floor_log2(org.rows)
+        self._row_low = min(row_low_bits, self._row_bits)
+        self._row_high = self._row_bits - self._row_low
+        self.total_bits = (
+            self._col_bits
+            + self._bank_bits
+            + self._rank_bits
+            + self._chan_bits
+            + self._row_bits
+        )
+
+    # -- decoding -----------------------------------------------------------------
+
+    def decode(self, line: int) -> Coord:
+        """Map a cache-line index to (channel, rank, bank, row, col)."""
+        line &= (1 << self.total_bits) - 1
+        org = self.org
+        if self.scheme is AddressMapScheme.ROW_RANK_BANK_COL:
+            col = line & (org.columns - 1)
+            line >>= self._col_bits
+            bank = line & (org.banks - 1)
+            line >>= self._bank_bits
+            rank = line & (org.ranks - 1)
+            line >>= self._rank_bits
+            chan = line & (org.channels - 1)
+            line >>= self._chan_bits
+            row = line & (org.rows - 1)
+            return Coord(chan, rank, bank, row, col)
+        # bank-locality layouts: col, row_low, bank, [chan, rank or rank, chan], row_high
+        col = line & (org.columns - 1)
+        line >>= self._col_bits
+        row_lo = line & ((1 << self._row_low) - 1)
+        line >>= self._row_low
+        bank = line & (org.banks - 1)
+        line >>= self._bank_bits
+        chan = line & (org.channels - 1)
+        line >>= self._chan_bits
+        if self.scheme is AddressMapScheme.BANK_LOCALITY:
+            rank = line & (org.ranks - 1)
+            line >>= self._rank_bits
+            row_hi = line & ((1 << self._row_high) - 1)
+        else:  # RANK_PARTITIONED: rank on top
+            row_hi = line & ((1 << self._row_high) - 1)
+            line >>= self._row_high
+            rank = line & (org.ranks - 1)
+        return Coord(chan, rank, bank, (row_hi << self._row_low) | row_lo, col)
+
+    # -- encoding -----------------------------------------------------------------
+
+    def encode(self, coord: Coord) -> int:
+        """Inverse of :meth:`decode`."""
+        chan, rank, bank, row, col = coord
+        org = self.org
+        if not (
+            0 <= chan < org.channels
+            and 0 <= rank < org.ranks
+            and 0 <= bank < org.banks
+            and 0 <= row < org.rows
+            and 0 <= col < org.columns
+        ):
+            raise ValueError(f"coordinate out of range: {coord}")
+        if self.scheme is AddressMapScheme.ROW_RANK_BANK_COL:
+            line = row
+            line = (line << self._chan_bits) | chan
+            line = (line << self._rank_bits) | rank
+            line = (line << self._bank_bits) | bank
+            line = (line << self._col_bits) | col
+            return line
+        row_lo = row & ((1 << self._row_low) - 1)
+        row_hi = row >> self._row_low
+        if self.scheme is AddressMapScheme.BANK_LOCALITY:
+            line = row_hi
+            line = (line << self._rank_bits) | rank
+        else:  # RANK_PARTITIONED
+            line = rank
+            line = (line << self._row_high) | row_hi
+        line = (line << self._chan_bits) | chan
+        line = (line << self._bank_bits) | bank
+        line = (line << self._row_low) | row_lo
+        line = (line << self._col_bits) | col
+        return line
+
+    # -- helpers ------------------------------------------------------------------
+
+    def rank_of(self, line: int) -> tuple[int, int]:
+        """(channel, rank) of a line — the granularity refresh locks at."""
+        c = self.decode(line)
+        return (c.channel, c.rank)
+
+    def partition_base(self, rank: int, channel: int = 0) -> int:
+        """First line index of ``rank``'s slice under rank partitioning.
+
+        Useful for generating per-application address streams that respect
+        the paper's rank-partitioned multi-program setup.
+        """
+        if self.scheme is not AddressMapScheme.RANK_PARTITIONED:
+            raise ValueError("partition_base is only defined for RANK_PARTITIONED")
+        return self.encode(Coord(channel, rank, 0, 0, 0))
+
+    @property
+    def bank_dwell_lines(self) -> int:
+        """Consecutive lines mapping to one bank before it switches."""
+        if self.scheme is AddressMapScheme.ROW_RANK_BANK_COL:
+            return self.org.columns
+        return self.org.columns << self._row_low

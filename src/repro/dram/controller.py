@@ -1,0 +1,455 @@
+"""Event-driven DDR4 memory controller.
+
+The controller owns per-channel read/write queues, an FR-FCFS scheduler
+with batched write draining, the refresh schedule, and — when ROP is
+enabled — the hooks that let the prefetch engine observe traffic, fill the
+SRAM buffer right before each refresh, and service reads while a rank is
+frozen.
+
+ROP hook protocol (duck-typed; implemented by
+:class:`repro.core.rop_engine.RopEngine`):
+
+=======================================  =====================================
+hook                                     called when
+=======================================  =====================================
+``on_request(req, cycle)``               every demand request is submitted
+``invalidate_line(line)``                a demand write is submitted
+``sram_lookup(line) -> bool``            scheduler probes the SRAM buffer
+``on_sram_hit(req, cycle, in_lock)``     a read is serviced from the buffer
+``on_read_arrival_in_lock(ch, rk, cy)``  a read arrives at a frozen rank
+``plan_prefetch(ch, rk, cycle)``         a refresh is about to start; returns
+                                         the list of line addresses to fetch
+``on_prefetch_fill(ch, rk, lines, cy)``  prefetched lines land in the buffer
+``on_refresh_executed(ch, rk, s, e)``    a refresh lock window [s, e) begins
+=======================================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable
+
+from ..config import SystemConfig
+from ..events import EventQueue
+from ..stats.collectors import ControllerStats, EventRecorder
+from .address_mapping import AddressMapper
+from .bank import AccessPlan
+from .rank import Rank
+from .refresh import RefreshManager
+from .request import Coord, ReqKind, Request, ServiceKind
+
+__all__ = ["MemoryController"]
+
+#: bound on demand requests drained ahead of one refresh (keeps the
+#: refresh-delay within the JEDEC postponement allowance)
+_DRAIN_CAP = 16
+
+
+class _Channel:
+    """Per-channel hardware state: ranks plus the shared data bus."""
+
+    __slots__ = ("ranks", "bus_free_at", "busy_cycles")
+
+    def __init__(self, ranks: int, banks: int) -> None:
+        self.ranks = [Rank(banks) for _ in range(ranks)]
+        self.bus_free_at = 0
+        #: cumulative data-bus occupancy (burst cycles), for pressure stats
+        self.busy_cycles = 0
+
+
+class MemoryController:
+    """Transaction-level DDR4 controller with optional ROP support."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        events: EventQueue,
+        rop=None,
+        recorder: EventRecorder | None = None,
+    ) -> None:
+        self.cfg = config
+        self.t = config.effective_timings()
+        self.events = events
+        self.rop = rop
+        self.recorder = recorder
+        org = config.organization
+        self.mapper = AddressMapper(org, config.address_map)
+        self.refresh_mgr = RefreshManager(config.refresh, self.t, org)
+        self.channels = [_Channel(org.ranks, org.banks) for _ in range(org.channels)]
+        self.read_q: list[list[Request]] = [[] for _ in range(org.channels)]
+        self.write_q: list[list[Request]] = [[] for _ in range(org.channels)]
+        self._drain = [False] * org.channels
+        self._retry_at = [-1] * org.channels
+        self.stats = ControllerStats()
+        self._rid = 0
+        if self.refresh_mgr.enabled:
+            for ch in range(org.channels):
+                for rk in range(org.ranks):
+                    self.events.push(
+                        self.refresh_mgr.first_tick(ch, rk),
+                        self._make_refresh_tick(ch, rk),
+                        housekeeping=True,
+                    )
+
+    # ------------------------------------------------------------------ submit
+
+    def submit(
+        self,
+        kind: ReqKind,
+        line: int,
+        cycle: int,
+        core_id: int = 0,
+        on_complete: Callable[[int], None] | None = None,
+    ) -> Request:
+        """Enqueue one demand request at ``cycle`` and return it."""
+        coord = self.mapper.decode(line)
+        req = Request(self._rid, kind, line, coord, cycle, core_id, on_complete)
+        self._rid += 1
+        ch = self.channels[coord.channel]
+        rank = ch.ranks[coord.rank]
+        if kind is ReqKind.READ:
+            self.stats.reads += 1
+            self.read_q[coord.channel].append(req)
+            if rank.is_locked(cycle):
+                self.stats.reads_arriving_in_lock += 1
+                if self.rop is not None:
+                    self.rop.on_read_arrival_in_lock(coord.channel, coord.rank, cycle)
+        else:
+            self.stats.writes += 1
+            self.write_q[coord.channel].append(req)
+            if self.rop is not None:
+                self.rop.invalidate_line(line)
+        if self.recorder is not None:
+            self.recorder.on_request(
+                coord.channel, coord.rank, cycle, kind is ReqKind.READ
+            )
+        if self.rop is not None:
+            self.rop.on_request(req, cycle)
+        self._try_issue(coord.channel, cycle)
+        return req
+
+    # ------------------------------------------------------------------ scheduling
+
+    def _try_issue(self, ci: int, cycle: int) -> None:
+        """Issue every request that can start now; schedule a retry otherwise."""
+        ch = self.channels[ci]
+        rq, wq = self.read_q[ci], self.write_q[ci]
+        sched = self.cfg.scheduler
+        progress = True
+        while progress:
+            progress = False
+            # SRAM service sweep: any queued read present in the prefetch
+            # buffer completes from SRAM, frozen rank or not.
+            if self.rop is not None and rq:
+                i = 0
+                while i < len(rq):
+                    r = rq[i]
+                    if self.rop.sram_lookup(r.line):
+                        rq.pop(i)
+                        self._complete_from_sram(r, cycle)
+                        progress = True
+                    else:
+                        i += 1
+            # write-drain hysteresis
+            if not self._drain[ci] and len(wq) >= sched.write_drain_high:
+                self._drain[ci] = True
+            elif self._drain[ci] and len(wq) <= sched.write_drain_low:
+                self._drain[ci] = False
+            if self._drain[ci]:
+                queue = wq
+            elif rq:
+                queue = rq
+            elif wq:
+                queue = wq  # work-conserving: no reads pending, stream writes
+            else:
+                break
+            idx, wake = self._select(ch, queue, cycle)
+            if idx is None:
+                if queue is rq and wq:
+                    # reads all gated; opportunistically try a write
+                    widx, wwake = self._select(ch, wq, cycle)
+                    if widx is not None:
+                        self._issue(ci, wq.pop(widx), cycle)
+                        progress = True
+                        continue
+                    wake = min(w for w in (wake, wwake) if w is not None) if (
+                        wake is not None or wwake is not None
+                    ) else None
+                if wake is not None:
+                    self._schedule_retry(ci, wake)
+                break
+            self._issue(ci, queue.pop(idx), cycle)
+            progress = True
+
+    def _select(
+        self, ch: _Channel, queue: list[Request], cycle: int
+    ) -> tuple[int | None, int | None]:
+        """FR-FCFS pick: oldest ready row hit, else oldest ready request.
+
+        Returns ``(index, None)`` on success or ``(None, wake_cycle)`` when
+        every queued request is gated (``wake_cycle`` is the earliest cycle
+        anything ungates, or None for an empty queue).
+        """
+        first_ready: int | None = None
+        wake: int | None = None
+        for i, r in enumerate(queue):
+            c = r.coord
+            rank = ch.ranks[c.rank]
+            if rank.is_locked(cycle):
+                gate = rank.locked_until
+            else:
+                bank = rank.banks[c.bank]
+                if bank.ready_at <= cycle:
+                    if bank.open_row == c.row:
+                        return i, None  # oldest ready row hit wins outright
+                    if first_ready is None:
+                        first_ready = i
+                    continue
+                gate = bank.ready_at
+            if wake is None or gate < wake:
+                wake = gate
+        return (first_ready, None) if first_ready is not None else (None, wake)
+
+    def _issue(self, ci: int, req: Request, cycle: int) -> None:
+        """Commit one request to DRAM and schedule its completion."""
+        ch = self.channels[ci]
+        c = req.coord
+        rank = ch.ranks[c.rank]
+        is_write = req.kind is not ReqKind.READ and req.kind is not ReqKind.PREFETCH
+        plan = rank.plan(cycle, c.bank, c.row, is_write, self.t)
+        shift = ch.bus_free_at - plan.data_start
+        if shift > 0:
+            plan = AccessPlan(
+                plan.col_cycle + shift,
+                plan.data_start + shift,
+                plan.data_end + shift,
+                plan.act_cycle,
+                plan.category,
+            )
+        rank.commit(plan, c.bank, c.row, is_write, self.t)
+        ch.bus_free_at = plan.data_end
+        ch.busy_cycles += plan.data_end - plan.data_start
+        req.issue_cycle = plan.col_cycle
+        req.complete_cycle = plan.data_end
+        req.service = plan.category
+        if plan.category is ServiceKind.DRAM_HIT:
+            self.stats.row_hits += 1
+        elif plan.category is ServiceKind.DRAM_CLOSED:
+            self.stats.row_closed += 1
+        else:
+            self.stats.row_conflicts += 1
+        if req.kind is ReqKind.READ:
+            self.events.push(plan.data_end, self._make_read_completion(req))
+
+    def _make_read_completion(self, req: Request) -> Callable[[int], None]:
+        def _complete(cycle: int) -> None:
+            self._account_read(req, cycle)
+
+        return _complete
+
+    def _account_read(self, req: Request, cycle: int) -> None:
+        lat = cycle - req.arrival
+        self.stats.reads_completed += 1
+        self.stats.read_latency_sum += lat
+        if lat > self.stats.read_latency_max:
+            self.stats.read_latency_max = lat
+        self.stats.end_cycle = max(self.stats.end_cycle, cycle)
+        if req.on_complete is not None:
+            req.on_complete(cycle)
+
+    def _complete_from_sram(self, req: Request, cycle: int) -> None:
+        """Service a read from the ROP SRAM buffer."""
+        done = cycle + self.cfg.rop.sram_latency
+        req.issue_cycle = cycle
+        req.complete_cycle = done
+        req.service = ServiceKind.SRAM
+        rank = self.channels[req.coord.channel].ranks[req.coord.rank]
+        in_lock = rank.is_locked(cycle)
+        if in_lock:
+            self.stats.sram_hits_in_lock += 1
+        else:
+            self.stats.sram_hits_out_of_lock += 1
+        self.rop.on_sram_hit(req, cycle, in_lock)
+        self.events.push(done, self._make_read_completion(req))
+
+    def _schedule_retry(self, ci: int, wake: int) -> None:
+        """Schedule a future issue attempt, deduplicating per channel."""
+        pending = self._retry_at[ci]
+        if pending >= 0 and pending <= wake:
+            return
+        self._retry_at[ci] = wake
+
+        def _retry(cycle: int) -> None:
+            if self._retry_at[ci] == wake:
+                self._retry_at[ci] = -1
+            self._try_issue(ci, cycle)
+
+        self.events.push(wake, _retry)
+
+    # ------------------------------------------------------------------ refresh
+
+    def _make_refresh_tick(self, ci: int, ri: int) -> Callable[[int], None]:
+        def _tick(cycle: int) -> None:
+            self._refresh_tick(ci, ri, cycle)
+
+        return _tick
+
+    def _pending_for_rank(self, ci: int, ri: int) -> int:
+        return sum(1 for r in self.read_q[ci] if r.coord.rank == ri) + sum(
+            1 for r in self.write_q[ci] if r.coord.rank == ri
+        )
+
+    def _refresh_tick(self, ci: int, ri: int, cycle: int) -> None:
+        """One tREFI grid tick for a rank: postpone, or refresh (w/ ROP arming)."""
+        from ..config import RefreshMode
+
+        if self.cfg.refresh.mode is RefreshMode.PAUSING:
+            self._paused_refresh(ci, ri, cycle)
+            self.events.push(
+                cycle + self.refresh_mgr.period,
+                self._make_refresh_tick(ci, ri),
+                housekeeping=True,
+            )
+            return
+        count = self.refresh_mgr.decide(ci, ri, cycle, self._pending_for_rank(ci, ri))
+        if count > 0:
+            due = cycle
+            if self.rop is not None:
+                if self.cfg.rop.drain_before_refresh:
+                    self._drain_rank(ci, ri, cycle)
+                lines = self.rop.plan_prefetch(ci, ri, cycle)
+                if lines:
+                    due = self._fetch_prefetch_lines(ci, ri, lines, cycle)
+            rank = self.channels[ci].ranks[ri]
+            for _ in range(count):
+                banks = self.refresh_mgr.banks_for(ci, ri)
+                start, end = rank.start_refresh(due, self.t, banks=banks)
+                self.stats.refreshes += 1
+                self.stats.refresh_locked_cycles += end - start
+                self.stats.end_cycle = max(self.stats.end_cycle, end)
+                if self.recorder is not None:
+                    self.recorder.on_refresh(ci, ri, start, end)
+                if self.rop is not None:
+                    self.rop.on_refresh_executed(ci, ri, start, end)
+                due = end
+            if self.read_q[ci] or self.write_q[ci]:
+                self._schedule_retry(ci, due)
+        self.events.push(
+            cycle + self.refresh_mgr.period,
+            self._make_refresh_tick(ci, ri),
+            housekeeping=True,
+        )
+
+    def _paused_refresh(self, ci: int, ri: int, due: int) -> None:
+        """Refresh-Pausing-style interruptible refresh (extension baseline).
+
+        The ``tRFC`` lock is split into ``pause_segments`` row-bundle
+        segments. Between segments, pending demand to the rank defers the
+        next segment; a deadline (the next tREFI tick, less the remaining
+        work) forces completion so the average refresh rate is preserved —
+        the correctness condition Nair et al. identify.
+        """
+        rank = self.channels[ci].ranks[ri]
+        t = self.t
+        seg = max(1, t.rfc // max(1, self.cfg.refresh.pause_segments))
+        deadline = due + self.refresh_mgr.period - t.rfc
+        state = {"remaining": t.rfc, "counted": False}
+
+        def step(cycle: int) -> None:
+            remaining = state["remaining"]
+            if remaining <= 0:
+                return
+            must_force = cycle + remaining >= deadline
+            if not must_force and self._pending_for_rank(ci, ri) > 0:
+                # pause: demand goes first; re-check one segment later
+                self.events.push(cycle + seg, step)
+                self._try_issue(ci, cycle)
+                return
+            dur = min(seg, remaining)
+            start, end = rank.start_refresh(cycle, t, duration=dur)
+            state["remaining"] = remaining - dur
+            self.stats.refresh_locked_cycles += end - start
+            self.stats.end_cycle = max(self.stats.end_cycle, end)
+            if not state["counted"]:
+                self.stats.refreshes += 1
+                state["counted"] = True
+            if self.recorder is not None:
+                self.recorder.on_refresh(ci, ri, start, end)
+            if state["remaining"] > 0:
+                self.events.push(end, step)
+            elif self.read_q[ci] or self.write_q[ci]:
+                self._schedule_retry(ci, end)
+
+        step(due)
+
+    def _drain_rank(self, ci: int, ri: int, cycle: int) -> None:
+        """Issue queued demand requests to a rank ahead of its refresh.
+
+        Mirrors the paper's Section IV-D: draining avoids request
+        housekeeping resources being held across the whole lock. Bounded by
+        ``_DRAIN_CAP`` so the refresh delay stays within the JEDEC
+        postponement allowance.
+        """
+        drained = 0
+        for queue in (self.read_q[ci], self.write_q[ci]):
+            i = 0
+            while i < len(queue) and drained < _DRAIN_CAP:
+                r = queue[i]
+                if r.coord.rank == ri:
+                    queue.pop(i)
+                    self._issue(ci, r, cycle)
+                    drained += 1
+                else:
+                    i += 1
+
+    def _fetch_prefetch_lines(self, ci: int, ri: int, lines: list[int], cycle: int) -> int:
+        """Fetch prefetch lines into the SRAM buffer right before the lock.
+
+        Lines are sorted by (bank, row, column) so fetches to the same row
+        coalesce into row-buffer hits — the paper's second issue
+        optimization. Returns the cycle at which all fills complete (the
+        refresh is delayed until then).
+        """
+        ch = self.channels[ci]
+        rank = ch.ranks[ri]
+        done = cycle
+        ordered = sorted(lines, key=lambda ln: self.mapper.decode(ln)[2:])
+        # lines still resident from the previous arming are free — only new
+        # lines cost a DRAM fetch
+        to_fetch = [ln for ln in ordered if not self.rop.sram_lookup(ln)]
+        for line in to_fetch:
+            c = self.mapper.decode(line)
+            plan = rank.plan(cycle, c.bank, c.row, False, self.t)
+            shift = ch.bus_free_at - plan.data_start
+            if shift > 0:
+                plan = AccessPlan(
+                    plan.col_cycle + shift,
+                    plan.data_start + shift,
+                    plan.data_end + shift,
+                    plan.act_cycle,
+                    plan.category,
+                )
+            rank.commit(plan, c.bank, c.row, False, self.t)
+            ch.bus_free_at = plan.data_end
+            ch.busy_cycles += plan.data_end - plan.data_start
+            self.stats.prefetches += 1
+            if plan.data_end > done:
+                done = plan.data_end
+        self.stats.prefetch_fetch_cycles += done - cycle
+        self.stats.sram_fills += len(to_fetch)
+        self.rop.on_prefetch_fill(ci, ri, ordered, done)
+        return done
+
+    # ------------------------------------------------------------------ helpers
+
+    def pending_requests(self) -> int:
+        """Demand requests still queued across all channels."""
+        return sum(len(q) for q in self.read_q) + sum(len(q) for q in self.write_q)
+
+    def decode(self, line: int) -> Coord:
+        """Decode a line address with this controller's mapper."""
+        return self.mapper.decode(line)
+
+    def finish(self, cycle: int) -> None:
+        """Mark the end of simulated time in the stats."""
+        self.stats.end_cycle = max(self.stats.end_cycle, cycle)

@@ -1,0 +1,93 @@
+"""Refresh scheduling policies.
+
+The controller drives refresh through a :class:`RefreshManager`: the
+manager owns the per-rank schedule (the ``tREFI`` grid, staggered across
+ranks) and decides, at each grid tick, how many REF commands to issue.
+Policies:
+
+* ``AUTO_1X`` / ``FGR_2X`` / ``FGR_4X`` — one REF per tick, period and
+  ``tRFC`` taken from the (possibly fine-grained) timing set.
+* ``PER_BANK`` — one bank refreshed per tick, round-robin; only that bank
+  freezes (the paper's future-work direction).
+* ``ELASTIC`` — Elastic-Refresh-style postponement: a tick with pending
+  demand to the rank defers the REF (up to ``postpone_max`` owed), and owed
+  refreshes are repaid in a burst at the first idle tick.
+* ``NONE`` — never refresh (the idealized upper bound).
+* ``PAUSING`` — interruptible refresh; its segmentation lives in the
+  controller (:meth:`~repro.dram.controller.MemoryController._paused_refresh`)
+  because pausing interacts with the demand queues, not the schedule.
+"""
+
+from __future__ import annotations
+
+from ..config import MemoryOrganization, RefreshConfig, RefreshMode
+from .timings import DramTimings
+
+__all__ = ["RefreshManager"]
+
+
+class RefreshManager:
+    """Per-rank refresh schedule and postponement bookkeeping."""
+
+    def __init__(
+        self,
+        cfg: RefreshConfig,
+        timings: DramTimings,
+        org: MemoryOrganization,
+    ) -> None:
+        self.cfg = cfg
+        self.timings = timings
+        self.org = org
+        self.period = timings.refi
+        self._owed: dict[tuple[int, int], int] = {}
+        self._next_bank: dict[tuple[int, int], int] = {}
+        for ch in range(org.channels):
+            for rk in range(org.ranks):
+                self._owed[(ch, rk)] = 0
+                self._next_bank[(ch, rk)] = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether REF commands are issued at all."""
+        return self.cfg.enabled
+
+    def first_tick(self, channel: int, rank: int) -> int:
+        """Cycle of the first refresh tick for a rank.
+
+        With ``stagger`` enabled, ranks are offset by ``tREFI / ranks`` so
+        their locks never coincide — the arrangement ROP's shared SRAM
+        buffer ("ranks take turns") requires.
+        """
+        offset = 0
+        if self.cfg.stagger and self.org.ranks > 1:
+            offset = (rank * self.period) // self.org.ranks
+        return self.period + offset
+
+    def decide(self, channel: int, rank: int, now: int, pending_demand: int) -> int:
+        """Number of REF commands to issue at this tick (0 = postpone).
+
+        ``pending_demand`` is the number of queued demand requests
+        targeting the rank; only the ELASTIC policy consults it.
+        """
+        key = (channel, rank)
+        if self.cfg.mode is not RefreshMode.ELASTIC:
+            return 1
+        owed = self._owed[key] + 1  # this tick's refresh joins the debt
+        if pending_demand > 0 and owed < self.cfg.postpone_max:
+            self._owed[key] = owed
+            return 0
+        self._owed[key] = 0
+        return owed
+
+    def banks_for(self, channel: int, rank: int) -> list[int] | None:
+        """Banks frozen by the next REF (None = all-bank refresh)."""
+        if self.cfg.mode is not RefreshMode.PER_BANK:
+            return None
+        key = (channel, rank)
+        bank = self._next_bank[key]
+        self._next_bank[key] = (bank + 1) % self.org.banks
+        return [bank]
+
+    def owed(self, channel: int, rank: int) -> int:
+        """Outstanding postponed refreshes for a rank (ELASTIC only)."""
+        return self._owed[(channel, rank)]

@@ -1,0 +1,104 @@
+"""Memory request objects exchanged between the CPU models and the DRAM
+controller.
+
+Addresses are *cache-line indices* (byte address divided by 64), which is
+the granularity every component of the paper operates at: the LLC filters
+lines, the controller schedules line bursts, the prediction table records
+line deltas and the SRAM buffer stores lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, NamedTuple
+
+__all__ = ["ReqKind", "ServiceKind", "Coord", "Request"]
+
+
+class ReqKind(enum.IntEnum):
+    """Request type as seen by the memory controller."""
+
+    READ = 0
+    WRITE = 1
+    PREFETCH = 2  #: ROP-generated SRAM fill read
+
+
+class ServiceKind(enum.IntEnum):
+    """How a request was ultimately serviced (for stats)."""
+
+    DRAM_HIT = 0  #: row-buffer hit
+    DRAM_CLOSED = 1  #: bank was precharged (row miss)
+    DRAM_CONFLICT = 2  #: row-buffer conflict (precharge + activate)
+    SRAM = 3  #: satisfied by the ROP prefetch buffer
+
+
+class Coord(NamedTuple):
+    """Decoded DRAM coordinates of a cache line."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+
+class Request:
+    """One cache-line memory transaction.
+
+    Mutable by design: the controller annotates scheduling results
+    (``issue_cycle``, ``complete_cycle``, ``service``) as the request moves
+    through the system. ``on_complete`` is invoked with the completion
+    cycle when read data returns (writes complete silently).
+    """
+
+    __slots__ = (
+        "rid",
+        "kind",
+        "line",
+        "coord",
+        "arrival",
+        "issue_cycle",
+        "complete_cycle",
+        "service",
+        "core_id",
+        "on_complete",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        kind: ReqKind,
+        line: int,
+        coord: Coord,
+        arrival: int,
+        core_id: int = 0,
+        on_complete: Callable[[int], None] | None = None,
+    ) -> None:
+        self.rid = rid
+        self.kind = kind
+        self.line = line
+        self.coord = coord
+        self.arrival = arrival
+        self.issue_cycle: int = -1
+        self.complete_cycle: int = -1
+        self.service: ServiceKind | None = None
+        self.core_id = core_id
+        self.on_complete = on_complete
+
+    @property
+    def is_read(self) -> bool:
+        """True for demand reads (prefetches are not demand traffic)."""
+        return self.kind is ReqKind.READ
+
+    @property
+    def latency(self) -> int:
+        """Arrival-to-completion latency; -1 until completed."""
+        if self.complete_cycle < 0:
+            return -1
+        return self.complete_cycle - self.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(rid={self.rid}, kind={self.kind.name}, line={self.line:#x}, "
+            f"coord={self.coord}, arrival={self.arrival})"
+        )

@@ -1,0 +1,174 @@
+"""DDR4 timing parameters, expressed in memory-controller clock cycles.
+
+The memory controller clock runs at half the data rate (DDR): a DDR4-1600
+part transfers 1600 MT/s and is driven by an 800 MHz clock, i.e.
+``tCK = 1.25 ns``. All constraint fields below are integer cycle counts of
+that clock. Values follow JEDEC DDR4 (JESD79-4) speed-bin tables for an
+8 Gb x8 device, matching Table III of the paper (``tREFI = 7.8 us``,
+``tRFC = 350 ns`` in 1x refresh mode).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["DramTimings", "DDR4_1600", "DDR4_2400"]
+
+
+def _ns_to_cycles(ns: float, tck_ns: float) -> int:
+    """Convert a nanosecond constraint to (ceiling) clock cycles."""
+    return math.ceil(round(ns / tck_ns, 9))
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """A bundle of DDR timing constraints in controller clock cycles.
+
+    Attributes
+    ----------
+    tck_ns:
+        Clock period of the memory controller clock in nanoseconds.
+    cl:
+        CAS latency — ACT-to-data delay component after the column read.
+    rcd:
+        ACT-to-READ/WRITE delay (row to column delay).
+    rp:
+        PRE-to-ACT delay (row precharge).
+    ras:
+        Minimum ACT-to-PRE interval.
+    rc:
+        Minimum ACT-to-ACT interval in the same bank (``ras + rp``).
+    burst:
+        Data-bus occupancy of one cache-line burst (BL8 → 4 clock cycles).
+    ccd:
+        Minimum column-command spacing on a rank.
+    rrd:
+        Minimum ACT-to-ACT spacing across banks of a rank.
+    faw:
+        Rolling window in which at most four ACTs may be issued per rank.
+    wr:
+        Write recovery time (end of write burst to PRE).
+    wtr:
+        Write-to-read turnaround on a rank.
+    rtp:
+        Read-to-precharge delay.
+    cwl:
+        CAS write latency.
+    refi:
+        Average periodic refresh interval (one REF per ``refi`` cycles).
+    rfc:
+        Refresh cycle time — rank locked for this long per REF command.
+    """
+
+    tck_ns: float
+    cl: int
+    rcd: int
+    rp: int
+    ras: int
+    burst: int
+    ccd: int
+    rrd: int
+    faw: int
+    wr: int
+    wtr: int
+    rtp: int
+    cwl: int
+    refi: int
+    rfc: int
+
+    @property
+    def rc(self) -> int:
+        """Minimum same-bank ACT-to-ACT interval."""
+        return self.ras + self.rp
+
+    @property
+    def read_hit_latency(self) -> int:
+        """Cycles from issue to last data beat for a row-buffer hit read."""
+        return self.cl + self.burst
+
+    @property
+    def read_closed_latency(self) -> int:
+        """Read latency when the bank is precharged (row closed)."""
+        return self.rcd + self.cl + self.burst
+
+    @property
+    def read_conflict_latency(self) -> int:
+        """Read latency on a row-buffer conflict (precharge + activate)."""
+        return self.rp + self.rcd + self.cl + self.burst
+
+    @property
+    def write_hit_latency(self) -> int:
+        """Cycles from issue to last data beat for a row-buffer hit write."""
+        return self.cwl + self.burst
+
+    @property
+    def refresh_duty_cycle(self) -> float:
+        """Fraction of time a rank is locked by refresh (tRFC / tREFI)."""
+        return self.rfc / self.refi
+
+    def cycles(self, ns: float) -> int:
+        """Convert nanoseconds to cycles of this clock (ceiling)."""
+        return _ns_to_cycles(ns, self.tck_ns)
+
+    def ns(self, cycles: int | float) -> float:
+        """Convert a cycle count of this clock to nanoseconds."""
+        return cycles * self.tck_ns
+
+    def with_refresh(self, *, refi: int | None = None, rfc: int | None = None) -> "DramTimings":
+        """Return a copy with overridden refresh parameters."""
+        kwargs = {}
+        if refi is not None:
+            kwargs["refi"] = refi
+        if rfc is not None:
+            kwargs["rfc"] = rfc
+        return replace(self, **kwargs)
+
+    def fine_grained(self, mode: int) -> "DramTimings":
+        """Return timings for a JEDEC fine-grained-refresh (FGR) mode.
+
+        ``mode`` is 1, 2 or 4. FGR divides ``tREFI`` by the mode while
+        ``tRFC`` shrinks sub-linearly (JEDEC 8 Gb: 350 / 260 / 160 ns for
+        1x / 2x / 4x), which is exactly the trade-off studied by
+        Mukundan et al. [7] and referenced in the paper's related work.
+        """
+        if mode == 1:
+            return self
+        if mode not in (2, 4):
+            raise ValueError(f"FGR mode must be 1, 2 or 4, got {mode}")
+        rfc_ns = {2: 260.0, 4: 160.0}[mode]
+        return replace(
+            self,
+            refi=max(1, self.refi // mode),
+            rfc=self.cycles(rfc_ns),
+        )
+
+
+def _make_ddr4(data_rate: int, cl_ns: float = 13.75) -> DramTimings:
+    """Construct DDR4 timings for a given data rate (MT/s)."""
+    tck = 2000.0 / data_rate  # controller clock period in ns
+    c = lambda ns: _ns_to_cycles(ns, tck)
+    return DramTimings(
+        tck_ns=tck,
+        cl=c(cl_ns),
+        rcd=c(13.75),
+        rp=c(13.75),
+        ras=c(35.0),
+        burst=4,  # BL8 at double data rate
+        ccd=4,
+        rrd=c(6.0),
+        faw=c(30.0),
+        wr=c(15.0),
+        wtr=c(7.5),
+        rtp=c(7.5),
+        cwl=max(1, c(cl_ns) - 2),
+        refi=c(7800.0),
+        rfc=c(350.0),  # 8 Gb device, 1x refresh mode
+    )
+
+
+#: DDR4-1600 (800 MHz controller clock) — the paper's configuration.
+DDR4_1600: DramTimings = _make_ddr4(1600)
+
+#: DDR4-2400, provided for sensitivity studies.
+DDR4_2400: DramTimings = _make_ddr4(2400)

@@ -1,0 +1,20 @@
+"""Energy models: DRAM (Micron-calculator stand-in) and the ROP SRAM."""
+
+from .dram_power import DramEnergyParams, EnergyBreakdown, dram_energy, system_energy
+from .sram_power import (
+    SRAM_ACCESS_NJ,
+    SRAM_LATENCY_CYCLES,
+    sram_access_nj,
+    sram_energy_nj,
+)
+
+__all__ = [
+    "DramEnergyParams",
+    "EnergyBreakdown",
+    "dram_energy",
+    "system_energy",
+    "SRAM_ACCESS_NJ",
+    "SRAM_LATENCY_CYCLES",
+    "sram_access_nj",
+    "sram_energy_nj",
+]

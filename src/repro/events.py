@@ -1,0 +1,96 @@
+"""A minimal discrete-event scheduler shared by the CPU and memory models.
+
+The simulator is *transaction-level*: instead of ticking every DRAM clock
+cycle (prohibitive in pure Python), components schedule callbacks at the
+cycle where something can change — a request arrival, a bank or data-bus
+release, a refresh boundary. Events at the same cycle fire in insertion
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of ``(cycle, callback)`` events.
+
+    Callbacks receive the current cycle as their only argument. The queue
+    breaks ties by insertion order so simulations are reproducible.
+    """
+
+    __slots__ = ("_heap", "_seq", "now", "_work")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, bool, Callable[[int], None]]] = []
+        self._seq = 0
+        #: cycle of the most recently dispatched event
+        self.now: int = 0
+        #: pending events that represent real work (not housekeeping)
+        self._work = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def work_pending(self) -> int:
+        """Pending non-housekeeping events."""
+        return self._work
+
+    def push(
+        self,
+        cycle: int,
+        action: Callable[[int], None],
+        *,
+        housekeeping: bool = False,
+    ) -> None:
+        """Schedule ``action`` to run at ``cycle`` (must not be in the past).
+
+        Housekeeping events (periodic refresh ticks) self-perpetuate, so an
+        unbounded :meth:`run` stops once *only* housekeeping remains; every
+        other event counts as work.
+        """
+        if cycle < self.now:
+            raise ValueError(f"cannot schedule at {cycle} before now={self.now}")
+        heapq.heappush(self._heap, (cycle, self._seq, housekeeping, action))
+        self._seq += 1
+        if not housekeeping:
+            self._work += 1
+
+    def step(self) -> bool:
+        """Dispatch the earliest event. Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        cycle, _, housekeeping, action = heapq.heappop(self._heap)
+        self.now = cycle
+        if not housekeeping:
+            self._work -= 1
+        action(cycle)
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until idle, ``until`` cycles, or ``max_events``.
+
+        With no ``until``, the loop stops when only housekeeping events
+        remain (the memory is idle: refresh ticks would otherwise run
+        forever). Returns the number of events dispatched. An event
+        scheduled exactly at ``until`` still runs (the bound is inclusive).
+        """
+        dispatched = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if until is None and self._work == 0:
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            self.step()
+            dispatched += 1
+        return dispatched
+
+    def peek_cycle(self) -> int | None:
+        """Cycle of the next pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None

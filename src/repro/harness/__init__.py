@@ -1,0 +1,39 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from .experiment import RunScale, SystemRun, alone_ipc, run_benchmark, scale_from_env
+from .multi_core import (
+    LLC_SWEEP_BYTES,
+    MixRun,
+    fig10_11_weighted_speedup,
+    fig12_13_14_llc_sensitivity,
+    run_mix,
+    three_systems,
+)
+from .single_core import (
+    DEFAULT_BENCHMARKS,
+    SRAM_SIZES,
+    fig1_refresh_overheads,
+    fig2_to_4_and_table1,
+    fig7_8_9_rop_comparison,
+)
+from . import reporting
+
+__all__ = [
+    "RunScale",
+    "SystemRun",
+    "alone_ipc",
+    "run_benchmark",
+    "scale_from_env",
+    "LLC_SWEEP_BYTES",
+    "MixRun",
+    "fig10_11_weighted_speedup",
+    "fig12_13_14_llc_sensitivity",
+    "run_mix",
+    "three_systems",
+    "DEFAULT_BENCHMARKS",
+    "SRAM_SIZES",
+    "fig1_refresh_overheads",
+    "fig2_to_4_and_table1",
+    "fig7_8_9_rop_comparison",
+    "reporting",
+]

@@ -1,0 +1,132 @@
+"""Core experiment plumbing shared by all table/figure drivers.
+
+An *experiment* is one co-simulation of a workload against a memory
+configuration; :class:`RunScale` fixes its length and seed so every driver
+(and every pytest-benchmark target) can be shrunk or grown uniformly via
+the ``REPRO_SCALE`` environment variable:
+
+* ``REPRO_SCALE=smoke`` — seconds-long runs for CI / unit use,
+* ``REPRO_SCALE=default`` — minutes-long runs with stable statistics,
+* ``REPRO_SCALE=paper`` — the scale used to produce EXPERIMENTS.md.
+
+Alone-run IPCs (the denominator of weighted speedup) are memoized because
+they are pure functions of (benchmark, LLC share, scale).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..config import LlcConfig, RefreshMode, SystemConfig
+from ..cpu import MulticoreResult, run_cores
+from ..energy import EnergyBreakdown, system_energy
+from ..workloads import SpecProfile, profile
+
+__all__ = ["RunScale", "SystemRun", "run_benchmark", "alone_ipc", "scale_from_env"]
+
+_SCALES = {
+    # (instructions, ROP training refreshes): training shrinks with run
+    # length so the paper's 50-refresh training (negligible over 1 B
+    # instructions) stays proportionally negligible in shortened runs
+    "smoke": (400_000, 5),
+    "default": (3_000_000, 25),
+    "paper": (8_000_000, 50),
+}
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Length, seed and training budget of one experiment run."""
+
+    instructions: int = _SCALES["default"][0]
+    seed: int = 1
+    #: ROP training length the harness configures for this scale
+    training_refreshes: int = _SCALES["default"][1]
+
+    @classmethod
+    def named(cls, name: str, seed: int = 1) -> "RunScale":
+        """One of the predefined scales: smoke / default / paper."""
+        try:
+            instructions, training = _SCALES[name]
+        except KeyError:
+            raise KeyError(f"unknown scale {name!r}; known: {sorted(_SCALES)}") from None
+        return cls(instructions=instructions, seed=seed, training_refreshes=training)
+
+
+def scale_from_env(default: str = "default") -> RunScale:
+    """Scale selected by the ``REPRO_SCALE`` environment variable."""
+    return RunScale.named(os.environ.get("REPRO_SCALE", default))
+
+
+@dataclass(frozen=True)
+class SystemRun:
+    """One benchmark × one memory system, with derived metrics."""
+
+    benchmark: str
+    system: str
+    result: MulticoreResult
+    energy: EnergyBreakdown
+
+    @property
+    def ipc(self) -> float:
+        """IPC of core 0 (single-core experiments)."""
+        return self.result.ipc
+
+    @property
+    def lock_hit_rate(self) -> float:
+        """The Fig. 9 SRAM hit-rate metric."""
+        return self.result.stats.lock_hit_rate
+
+    @property
+    def armed_hit_rate(self) -> float:
+        """Hit rate over armed locks only (training excluded)."""
+        if self.result.rop_summary is None:
+            return 0.0
+        return self.result.rop_summary["armed_hit_rate"]
+
+
+def run_benchmark(
+    name: str,
+    config: SystemConfig,
+    scale: RunScale,
+    *,
+    system: str = "",
+    record_events: bool = False,
+) -> SystemRun:
+    """Run one benchmark profile on one memory configuration."""
+    p: SpecProfile = profile(name)
+    mt = p.memory_trace(scale.instructions, config.llc, seed=scale.seed)
+    result = run_cores([mt], config, record_events=record_events)
+    return SystemRun(
+        benchmark=name,
+        system=system or "custom",
+        result=result,
+        energy=system_energy(result.stats, config),
+    )
+
+
+#: memo of alone-run IPCs: (benchmark, llc size, instructions, seed) → IPC
+_ALONE_CACHE: dict[tuple, float] = {}
+
+
+def alone_ipc(name: str, llc: LlcConfig, scale: RunScale, config: SystemConfig) -> float:
+    """IPC of a benchmark running alone (weighted-speedup denominator).
+
+    Computed on the non-partitioned baseline memory with refresh on —
+    the conventional choice for Eq. 4 — and memoized.
+    """
+    key = (name, llc.size_bytes, llc.ways, scale.instructions, scale.seed)
+    cached = _ALONE_CACHE.get(key)
+    if cached is None:
+        p = profile(name)
+        mt = p.memory_trace(scale.instructions, llc, seed=scale.seed)
+        base = replace(config, rop=replace(config.rop, enabled=False))
+        cached = run_cores([mt], base).ipc
+        _ALONE_CACHE[key] = cached
+    return cached
+
+
+def no_refresh(config: SystemConfig) -> SystemConfig:
+    """The idealized upper-bound memory for a configuration."""
+    return config.with_refresh_mode(RefreshMode.NONE)

@@ -1,0 +1,158 @@
+"""Multi-programmed experiment drivers: Figs. 10–14.
+
+The paper's 4-core setup: four benchmarks per workload mix on a 4-rank
+memory; three systems are compared — *Baseline* (shared mapping),
+*Baseline-RP* (rank partitioning only) and *ROP* (rank partitioning +
+refresh-oriented prefetching). The 4 MB LLC is shared in the paper; we
+model it as statically partitioned (each core filters through a
+``size / 4`` slice), which keeps LLC filtering a pure per-trace function —
+see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import LlcConfig, SystemConfig
+from ..cpu import MulticoreResult, run_cores
+from ..energy import EnergyBreakdown, system_energy
+from ..stats.metrics import weighted_speedup
+from ..workloads import WORKLOAD_MIXES, mix_profiles
+from .experiment import RunScale, alone_ipc
+
+__all__ = [
+    "MixRun",
+    "LLC_SWEEP_BYTES",
+    "run_mix",
+    "fig10_11_weighted_speedup",
+    "fig12_13_14_llc_sensitivity",
+]
+
+#: LLC capacities of the paper's sensitivity study (Figs. 12–14)
+LLC_SWEEP_BYTES: tuple[int, ...] = tuple(m * 1024 * 1024 for m in (1, 2, 4, 8))
+
+
+@dataclass(frozen=True)
+class MixRun:
+    """One workload mix × one memory system."""
+
+    mix: str
+    system: str
+    result: MulticoreResult
+    energy: EnergyBreakdown
+    weighted_speedup: float
+
+
+def _core_llc_share(llc_bytes: int, cores: int = 4) -> LlcConfig:
+    """Per-core slice of the statically partitioned shared LLC."""
+    return LlcConfig(size_bytes=max(64 * 1024, llc_bytes // cores))
+
+
+def run_mix(
+    mix: str,
+    config: SystemConfig,
+    scale: RunScale,
+    *,
+    system: str = "",
+    llc_bytes: int | None = None,
+) -> MixRun:
+    """Run one mix on one memory system and compute its weighted speedup."""
+    profiles = mix_profiles(mix)
+    share = _core_llc_share(llc_bytes if llc_bytes is not None else config.llc.size_bytes)
+    traces = [p.memory_trace(scale.instructions, share, seed=scale.seed) for p in profiles]
+    result = run_cores(traces, config)
+    alone = [alone_ipc(p.name, share, scale, config) for p in profiles]
+    return MixRun(
+        mix=mix,
+        system=system or "custom",
+        result=result,
+        energy=system_energy(result.stats, config),
+        weighted_speedup=weighted_speedup(result.ipcs, alone),
+    )
+
+
+def three_systems(
+    llc_bytes: int | None = None, *, training_refreshes: int = 50
+) -> dict[str, SystemConfig]:
+    """The paper's three multi-core systems, optionally at a given LLC size."""
+    base = SystemConfig.quad_core(rank_partitioned=False)
+    rp = SystemConfig.quad_core(rank_partitioned=True)
+    systems = {
+        "Baseline": base,
+        "Baseline-RP": rp,
+        "ROP": rp.with_rop(training_refreshes=training_refreshes),
+    }
+    if llc_bytes is not None:
+        systems = {k: v.with_llc_size(llc_bytes) for k, v in systems.items()}
+    return systems
+
+
+def fig10_11_weighted_speedup(
+    mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
+    scale: RunScale = RunScale(),
+) -> list[dict]:
+    """Figs. 10/11: normalized weighted speedup and energy, three systems."""
+    rows = []
+    for mix in mixes:
+        systems = three_systems(training_refreshes=scale.training_refreshes)
+        runs = {
+            name: run_mix(mix, cfg, scale, system=name)
+            for name, cfg in systems.items()
+        }
+        base = runs["Baseline"]
+        rows.append(
+            {
+                "mix": mix,
+                "ws": {name: r.weighted_speedup for name, r in runs.items()},
+                "norm_ws": {
+                    name: r.weighted_speedup / base.weighted_speedup
+                    for name, r in runs.items()
+                },
+                "norm_energy": {
+                    name: r.energy.total / base.energy.total for name, r in runs.items()
+                },
+                "rop_lock_hit_rate": runs["ROP"].result.stats.lock_hit_rate,
+            }
+        )
+    return rows
+
+
+def fig12_13_14_llc_sensitivity(
+    mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
+    scale: RunScale = RunScale(),
+    llc_sweep: tuple[int, ...] = LLC_SWEEP_BYTES,
+) -> list[dict]:
+    """Figs. 12/13/14: weighted speedup, energy and hit rate vs LLC size.
+
+    Values are normalized to the *Baseline* system at the same LLC size,
+    matching the paper's presentation.
+    """
+    rows = []
+    for mix in mixes:
+        per_llc = {}
+        for llc_bytes in llc_sweep:
+            systems = three_systems(
+                llc_bytes, training_refreshes=scale.training_refreshes
+            )
+            runs = {
+                name: run_mix(mix, cfg, scale, system=name, llc_bytes=llc_bytes)
+                for name, cfg in systems.items()
+            }
+            base = runs["Baseline"]
+            per_llc[llc_bytes] = {
+                "norm_ws": {
+                    name: r.weighted_speedup / base.weighted_speedup
+                    for name, r in runs.items()
+                },
+                "norm_energy": {
+                    name: r.energy.total / base.energy.total for name, r in runs.items()
+                },
+                "rop_lock_hit_rate": runs["ROP"].result.stats.lock_hit_rate,
+                "rop_armed_hit_rate": (
+                    runs["ROP"].result.rop_summary["armed_hit_rate"]
+                    if runs["ROP"].result.rop_summary
+                    else 0.0
+                ),
+            }
+        rows.append({"mix": mix, "llc": per_llc})
+    return rows

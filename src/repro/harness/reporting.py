@@ -1,0 +1,172 @@
+"""Paper-style rendering of harness results as plain-text tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..stats.metrics import geomean
+
+__all__ = [
+    "format_table",
+    "render_fig1",
+    "render_table1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig7_8_9",
+    "render_fig10_11",
+    "render_llc_sensitivity",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _pct(x: float) -> str:
+    return f"{x:.2f}%"
+
+
+def _f(x: float, nd: int = 3) -> str:
+    return "nan" if (isinstance(x, float) and math.isnan(x)) else f"{x:.{nd}f}"
+
+
+def render_fig1(rows: list[dict]) -> str:
+    """Fig. 1: refresh performance and energy overheads."""
+    body = [
+        (
+            r["benchmark"],
+            _f(r["ipc_baseline"]),
+            _f(r["ipc_norefresh"]),
+            _pct(r["perf_degradation_pct"]),
+            _pct(r["energy_overhead_pct"]),
+        )
+        for r in rows
+    ]
+    avg_perf = sum(r["perf_degradation_pct"] for r in rows) / len(rows)
+    avg_energy = sum(r["energy_overhead_pct"] for r in rows) / len(rows)
+    body.append(("AVERAGE", "", "", _pct(avg_perf), _pct(avg_energy)))
+    return format_table(
+        ["benchmark", "IPC(base)", "IPC(noref)", "perf loss", "extra energy"], body
+    )
+
+
+def render_table1(rows) -> str:
+    """Table I: λ and β per benchmark at each window multiple."""
+    mults = sorted(next(iter(rows)).windows)
+    headers = ["benchmark"] + [f"λ@{m:g}x" for m in mults] + [f"β@{m:g}x" for m in mults]
+    body = []
+    for r in rows:
+        body.append(
+            [r.benchmark]
+            + [_f(r.windows[m].lam, 2) for m in mults]
+            + [_f(r.windows[m].beta, 2) for m in mults]
+        )
+    return format_table(headers, body)
+
+
+def render_fig2(rows) -> str:
+    """Fig. 2: percentage of non-blocking refreshes per window multiple."""
+    mults = sorted(next(iter(rows)).windows)
+    headers = ["benchmark"] + [f"non-blocking@{m:g}x" for m in mults]
+    body = [
+        [r.benchmark]
+        + [_pct(100 * r.windows[m].non_blocking_fraction) for m in mults]
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def render_fig3(rows) -> str:
+    """Fig. 3: blocked requests per blocking refresh (physical lock)."""
+    body = [(r.benchmark, _f(r.avg_blocked, 2), r.max_blocked) for r in rows]
+    return format_table(["benchmark", "avg blocked", "max blocked"], body)
+
+
+def render_fig4(rows) -> str:
+    """Fig. 4: dominant events E1 + E2 per window multiple."""
+    mults = sorted(next(iter(rows)).windows)
+    headers = ["benchmark"] + [f"E1+E2@{m:g}x" for m in mults]
+    body = [
+        [r.benchmark]
+        + [_pct(100 * r.windows[m].dominant_fraction) for m in mults]
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def render_fig7_8_9(rows: list[dict]) -> str:
+    """Figs. 7/8/9 combined: normalized IPC, energy and hit rates."""
+    sizes = sorted(next(iter(rows))["rop"]) if rows else []
+    headers = (
+        ["benchmark", "noref IPC"]
+        + [f"ROP{s} IPC" for s in sizes]
+        + ["noref E"]
+        + [f"ROP{s} E" for s in sizes]
+        + [f"HR{s}" for s in sizes]
+    )
+    body = []
+    for r in rows:
+        body.append(
+            [r["benchmark"], _f(r["norm_ipc_norefresh"])]
+            + [_f(r["rop"][s]["norm_ipc"]) for s in sizes]
+            + [_f(r["norm_energy_norefresh"])]
+            + [_f(r["rop"][s]["norm_energy"]) for s in sizes]
+            + [_f(r["rop"][s]["armed_hit_rate"], 2) for s in sizes]
+        )
+    return format_table(headers, body)
+
+
+def render_fig10_11(rows: list[dict]) -> str:
+    """Figs. 10/11: normalized weighted speedup and energy per mix."""
+    systems = list(next(iter(rows))["norm_ws"])
+    headers = (
+        ["mix"]
+        + [f"WS {s}" for s in systems]
+        + [f"E {s}" for s in systems]
+    )
+    body = []
+    for r in rows:
+        body.append(
+            [r["mix"]]
+            + [_f(r["norm_ws"][s]) for s in systems]
+            + [_f(r["norm_energy"][s]) for s in systems]
+        )
+    gm_ws = {s: geomean([r["norm_ws"][s] for r in rows]) for s in systems}
+    gm_e = {s: geomean([r["norm_energy"][s] for r in rows]) for s in systems}
+    body.append(
+        ["GEOMEAN"] + [_f(gm_ws[s]) for s in systems] + [_f(gm_e[s]) for s in systems]
+    )
+    return format_table(headers, body)
+
+
+def render_llc_sensitivity(rows: list[dict], metric: str = "norm_ws") -> str:
+    """Figs. 12/13/14: a metric vs LLC size, ROP normalized to Baseline.
+
+    ``metric`` is one of ``norm_ws``, ``norm_energy``,
+    ``rop_lock_hit_rate``, ``rop_armed_hit_rate``.
+    """
+    llcs = sorted(next(iter(rows))["llc"])
+    headers = ["mix"] + [f"{llc // (1024 * 1024)}MB" for llc in llcs]
+    body = []
+    for r in rows:
+        cells = [r["mix"]]
+        for llc in llcs:
+            data = r["llc"][llc]
+            if metric in ("norm_ws", "norm_energy"):
+                cells.append(_f(data[metric]["ROP"]))
+            else:
+                cells.append(_f(data[metric], 2))
+        body.append(cells)
+    return format_table(headers, body)

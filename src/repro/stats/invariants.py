@@ -1,0 +1,150 @@
+"""Simulator invariant checks.
+
+A transaction-level model is only trustworthy if its shortcuts never
+violate the physical constraints it claims to enforce. This module
+audits a finished run — via the request log collected by
+:class:`RequestLog` and the per-rank event records — against the
+invariants the DDR4 model must uphold:
+
+* **causality** — no request completes before it arrives, issues before
+  it arrives, or completes before it issues;
+* **bus exclusivity** — data bursts on one channel never overlap;
+* **lock exclusion** — no DRAM data transfer overlaps its rank's refresh
+  lock (SRAM service is exempt: the buffer lives in the controller);
+* **refresh rate** — each rank performs one refresh per tREFI on average
+  (within the JEDEC ±8-interval flexibility);
+* **service accounting** — every demand read completes exactly once.
+
+The test suite runs these after randomized workloads; downstream users
+can wire :class:`RequestLog` into their own experiments the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.request import ReqKind, Request, ServiceKind
+
+__all__ = ["InvariantViolation", "RequestLog", "check_run"]
+
+
+class InvariantViolation(AssertionError):
+    """A physical constraint of the memory model was violated."""
+
+
+@dataclass
+class RequestLog:
+    """Collects completed requests for post-run auditing.
+
+    Attach with ``log.attach(memory_system)`` *before* submitting traffic;
+    it wraps the controller's submit path to capture every request object.
+    """
+
+    requests: list[Request] = field(default_factory=list)
+
+    def attach(self, memory_system) -> None:
+        """Start capturing every request submitted to ``memory_system``."""
+        controller = memory_system.controller
+        original = controller.submit
+
+        def wrapped(kind, line, cycle, core_id=0, on_complete=None):
+            req = original(kind, line, cycle, core_id, on_complete)
+            self.requests.append(req)
+            return req
+
+        controller.submit = wrapped  # type: ignore[method-assign]
+
+    @property
+    def reads(self) -> list[Request]:
+        """Captured demand reads."""
+        return [r for r in self.requests if r.kind is ReqKind.READ]
+
+
+def _check_causality(log: RequestLog) -> None:
+    for r in log.requests:
+        if r.complete_cycle < 0:
+            continue
+        if r.complete_cycle < r.arrival:
+            raise InvariantViolation(f"completes before arrival: {r}")
+        if r.issue_cycle >= 0 and r.issue_cycle < r.arrival:
+            raise InvariantViolation(f"issues before arrival: {r}")
+        if r.issue_cycle >= 0 and r.complete_cycle < r.issue_cycle:
+            raise InvariantViolation(f"completes before issue: {r}")
+
+
+def _check_reads_complete(log: RequestLog) -> None:
+    for r in log.reads:
+        if r.complete_cycle < 0:
+            raise InvariantViolation(f"demand read never completed: {r}")
+
+
+def _check_bus_exclusive(log: RequestLog, burst: int) -> None:
+    """DRAM data bursts on a channel must not overlap in time."""
+    per_channel: dict[int, list[tuple[int, int]]] = {}
+    for r in log.requests:
+        if r.complete_cycle < 0 or r.service is ServiceKind.SRAM:
+            continue
+        if r.kind is not ReqKind.READ:
+            continue  # writes complete silently; their windows are internal
+        ch = r.coord.channel
+        per_channel.setdefault(ch, []).append(
+            (r.complete_cycle - burst, r.complete_cycle)
+        )
+    for ch, windows in per_channel.items():
+        windows.sort()
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            if s2 < e1:
+                raise InvariantViolation(
+                    f"channel {ch}: overlapping data bursts "
+                    f"[{s1},{e1}) and [{s2},{e2})"
+                )
+
+
+def _check_lock_exclusion(log: RequestLog, events) -> None:
+    """No DRAM transfer may land inside its rank's refresh lock."""
+    locks: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for key, ev in events.items():
+        locks[key] = sorted(zip(ev.refresh_starts, ev.refresh_ends))
+    for r in log.requests:
+        if r.complete_cycle < 0 or r.service is ServiceKind.SRAM:
+            continue
+        if r.kind is not ReqKind.READ:
+            continue
+        key = (r.coord.channel, r.coord.rank)
+        for s, e in locks.get(key, ()):
+            if s < r.complete_cycle <= e and r.complete_cycle - 1 >= s:
+                # the burst's last beat lies inside the lock window
+                raise InvariantViolation(
+                    f"DRAM read data during refresh lock [{s},{e}): {r}"
+                )
+
+
+def _check_refresh_rate(events, refi: int, end_cycle: int) -> None:
+    for key, ev in events.items():
+        n = len(ev.refresh_starts)
+        if end_cycle < 2 * refi:
+            continue  # too short to judge
+        expected = end_cycle // refi
+        if abs(n - expected) > 9:  # JEDEC: up to 8 postponed + 1 in flight
+            raise InvariantViolation(
+                f"rank {key}: {n} refreshes over {end_cycle} cycles "
+                f"(expected ≈{expected})"
+            )
+
+
+def check_run(
+    log: RequestLog,
+    memory_system,
+    *,
+    check_refresh: bool = True,
+) -> None:
+    """Audit a finished run; raises :class:`InvariantViolation` on failure."""
+    t = memory_system.controller.t
+    _check_causality(log)
+    _check_reads_complete(log)
+    _check_bus_exclusive(log, t.burst)
+    if memory_system.recorder is not None:
+        events = memory_system.recorder.all_events()
+        _check_lock_exclusion(log, events)
+        if check_refresh and memory_system.config.refresh.enabled:
+            _check_refresh_rate(events, t.refi, memory_system.stats.end_cycle)

@@ -1,0 +1,65 @@
+"""Performance and comparison metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "weighted_speedup",
+    "geomean",
+    "normalize",
+    "percent_change",
+    "speedup",
+]
+
+
+def weighted_speedup(
+    shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]
+) -> float:
+    """The paper's Eq. 4: Σᵢ IPCᵢ(shared) / IPCᵢ(alone).
+
+    A value of N (the core count) means zero interference; lower values
+    quantify slowdown from sharing the memory system.
+    """
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError(
+            f"core-count mismatch: {len(shared_ipcs)} shared vs {len(alone_ipcs)} alone"
+        )
+    total = 0.0
+    for shared, alone in zip(shared_ipcs, alone_ipcs):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        total += shared / alone
+    return total
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports geometric means for speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Divide every value by ``baseline`` (paper figures normalize so)."""
+    if baseline == 0:
+        raise ValueError("cannot normalize by zero")
+    return [v / baseline for v in values]
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """(new − baseline) / baseline × 100."""
+    if baseline == 0:
+        raise ValueError("cannot compute percent change from zero baseline")
+    return (new - baseline) / baseline * 100.0
+
+
+def speedup(new: float, baseline: float) -> float:
+    """new / baseline (for IPC-style higher-is-better metrics)."""
+    if baseline == 0:
+        raise ValueError("cannot compute speedup from zero baseline")
+    return new / baseline

@@ -1,0 +1,35 @@
+"""Workload generation: SPEC CPU2006 stand-ins, mixes, trace containers."""
+
+from .analysis import TraceProfile, bank_dwells, characterize, delta_predictability
+from .mixes import WORKLOAD_MIXES, mix_intensity, mix_profiles
+from .spec_profiles import (
+    INTENSIVE,
+    NON_INTENSIVE,
+    SPEC_PROFILES,
+    SpecProfile,
+    clear_trace_cache,
+    profile,
+)
+from .synthetic import PhaseModel, generate_trace, pattern_addresses
+from .trace import AccessTrace, concat_traces
+
+__all__ = [
+    "TraceProfile",
+    "bank_dwells",
+    "characterize",
+    "delta_predictability",
+    "WORKLOAD_MIXES",
+    "mix_intensity",
+    "mix_profiles",
+    "INTENSIVE",
+    "NON_INTENSIVE",
+    "SPEC_PROFILES",
+    "SpecProfile",
+    "clear_trace_cache",
+    "profile",
+    "PhaseModel",
+    "generate_trace",
+    "pattern_addresses",
+    "AccessTrace",
+    "concat_traces",
+]

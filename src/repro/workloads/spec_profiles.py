@@ -1,0 +1,203 @@
+"""Calibrated stand-ins for the paper's twelve SPEC CPU2006 benchmarks.
+
+Each profile wraps a :class:`~repro.workloads.synthetic.PhaseModel` whose
+parameters were tuned so the *memory-level* behaviour matches what the
+paper reports (see DESIGN.md, substitutions):
+
+* the intensive/non-intensive split of Table II,
+* the per-benchmark λ and β of Table I (busy/idle dwell lengths relative
+  to the 7.8 µs refresh interval ≈ 25 k instructions at 1 IPC),
+* qualitatively appropriate address behaviour (lbm/libquantum/bwaves
+  stream; GemsFDTD/cactusADM are strided stencils; omnetpp/astar/gobmk
+  chase pointers; gcc/perlbench are mixed).
+
+The dwell intuition: for exponential dwells, λ ≈ P(a busy phase survives
+one more window) grows with ``busy_instr``, and β ≈ P(an idle phase
+survives one more window) grows with ``idle_instr``.
+
+Profiles expose :meth:`SpecProfile.cpu_trace` (CPU level) and
+:meth:`SpecProfile.memory_trace` (filtered through a given LLC); the
+latter memoizes per (instructions, seed, LLC geometry) because filtering
+outcomes are timing-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LlcConfig
+from ..cpu.llc import filter_trace
+from ..rng import derive_seed
+from .synthetic import PhaseModel, generate_trace
+from .trace import AccessTrace
+
+__all__ = [
+    "SpecProfile",
+    "SPEC_PROFILES",
+    "INTENSIVE",
+    "NON_INTENSIVE",
+    "profile",
+    "clear_trace_cache",
+]
+
+#: module-level memo of filtered memory traces (pure-function results)
+_MEM_TRACE_CACHE: dict[tuple, AccessTrace] = {}
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (tests use this to bound memory)."""
+    _MEM_TRACE_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class SpecProfile:
+    """One benchmark stand-in: a named, calibrated phase model."""
+
+    name: str
+    intensive: bool
+    model: PhaseModel
+    #: Table I targets at the 1× window (for documentation and tests)
+    paper_lambda: float
+    paper_beta: float
+
+    def cpu_trace(self, instructions: int, seed: int = 0) -> AccessTrace:
+        """Generate this benchmark's CPU-level trace."""
+        return generate_trace(
+            self.model, instructions, derive_seed(seed, self.name), tag=self.name
+        )
+
+    def memory_trace(
+        self, instructions: int, llc: LlcConfig, seed: int = 0
+    ) -> AccessTrace:
+        """LLC-filtered memory trace (memoized)."""
+        key = (self.name, instructions, seed, llc.size_bytes, llc.ways, llc.line_bytes)
+        cached = _MEM_TRACE_CACHE.get(key)
+        if cached is None:
+            cached = filter_trace(self.cpu_trace(instructions, seed), llc).memory_trace
+            _MEM_TRACE_CACHE[key] = cached
+        return cached
+
+
+def _p(
+    name: str,
+    intensive: bool,
+    lam: float,
+    beta: float,
+    **model_kwargs,
+) -> SpecProfile:
+    return SpecProfile(name, intensive, PhaseModel(**model_kwargs), lam, beta)
+
+
+#: The twelve calibrated profiles, keyed by benchmark name.
+SPEC_PROFILES: dict[str, SpecProfile] = {
+    p.name: p
+    for p in [
+        # ---- memory-intensive (Table II, 'Y') -------------------------------
+        # Intensities target the paper's observed scale: Fig. 3 reports
+        # at most ~12 reads blocked per refresh, i.e. ≈ 8–15 misses per
+        # 1000 instructions for the heaviest benchmarks.
+        _p(
+            "GemsFDTD", True, 0.99, 0.68,
+            busy_instr=300_000, idle_instr=45_000,
+            access_density=0.25, pattern_frac=0.05, ws_frac=0.004,
+            pattern="multidelta", deltas=(1, 1, 6),
+            write_frac=0.30, ws_run=8, ws_lines=1 << 16, cursor_space=1 << 23,
+        ),
+        _p(
+            "lbm", True, 0.99, 0.00,
+            busy_instr=10_000_000, idle_instr=0,
+            access_density=0.30, pattern_frac=0.045, ws_frac=0.01,
+            pattern="stream",
+            write_frac=0.45, ws_run=8, ws_lines=1 << 15, cursor_space=1 << 23,
+        ),
+        _p(
+            "bwaves", True, 0.93, 0.00,
+            busy_instr=500_000, idle_instr=3_000,
+            access_density=0.25, pattern_frac=0.05, ws_frac=0.01,
+            pattern="stream",
+            write_frac=0.25, ws_run=8, ws_lines=1 << 15, cursor_space=1 << 23,
+        ),
+        _p(
+            "gcc", True, 0.97, 0.96,
+            busy_instr=800_000, idle_instr=900_000,
+            access_density=0.20, pattern_frac=0.04, ws_frac=0.08,
+            pattern="multidelta", deltas=(1, 2),
+            write_frac=0.30, ws_run=24, ws_lines=1 << 16, cursor_space=1 << 22,
+        ),
+        _p(
+            "libquantum", True, 0.99, 0.04,
+            busy_instr=1_000_000, idle_instr=5_000,
+            access_density=0.25, pattern_frac=0.045, ws_frac=0.01,
+            pattern="stream",
+            write_frac=0.05, ws_run=8, ws_lines=1 << 14, cursor_space=1 << 23,
+        ),
+        _p(
+            "cactusADM", True, 0.78, 0.54,
+            busy_instr=45_000, idle_instr=40_000,
+            access_density=0.25, pattern_frac=0.04, ws_frac=0.004,
+            pattern="stride", stride=4,
+            write_frac=0.30, ws_run=8, ws_lines=1 << 16, cursor_space=1 << 23,
+        ),
+        # ---- non-intensive ---------------------------------------------------
+        _p(
+            "wrf", False, 0.99, 1.00,
+            busy_instr=2_000_000, idle_instr=2_000_000,
+            access_density=0.12, pattern_frac=0.015, ws_frac=0.05,
+            pattern="stream",
+            write_frac=0.25, ws_run=12, ws_lines=1 << 15, cursor_space=1 << 22,
+        ),
+        _p(
+            "bzip2", False, 0.84, 0.94,
+            busy_instr=180_000, idle_instr=550_000,
+            access_density=0.20, pattern_frac=0.012, ws_frac=0.04,
+            pattern="stream",
+            write_frac=0.30, ws_run=24, ws_lines=1 << 13, cursor_space=1 << 22,
+        ),
+        _p(
+            "perlbench", False, 0.40, 0.73,
+            busy_instr=9_000, idle_instr=80_000,
+            access_density=0.15, pattern_frac=0.010, ws_frac=0.04,
+            pattern="multidelta", deltas=(1, 3),
+            write_frac=0.35, ws_run=10, ws_lines=1 << 13, cursor_space=1 << 21,
+        ),
+        _p(
+            "astar", False, 0.76, 0.97,
+            busy_instr=60_000, idle_instr=800_000,
+            access_density=0.15, pattern_frac=0.012, ws_frac=0.04,
+            pattern="multidelta", deltas=(2, 1),
+            write_frac=0.20, ws_run=10, ws_lines=1 << 13, cursor_space=1 << 20,
+        ),
+        _p(
+            "omnetpp", False, 0.78, 0.95,
+            busy_instr=60_000, idle_instr=600_000,
+            access_density=0.18, pattern_frac=0.015, ws_frac=0.05,
+            pattern="stride", stride=3,
+            write_frac=0.30, ws_run=12, ws_lines=1 << 13, cursor_space=1 << 20,
+        ),
+        _p(
+            "gobmk", False, 0.20, 0.88,
+            busy_instr=6_000, idle_instr=260_000,
+            access_density=0.12, pattern_frac=0.010, ws_frac=0.03,
+            pattern="chase",
+            write_frac=0.25, ws_run=8, ws_lines=1 << 12, cursor_space=1 << 20,
+        ),
+    ]
+}
+
+#: benchmark names by Table II intensity class
+INTENSIVE: tuple[str, ...] = tuple(
+    p.name for p in SPEC_PROFILES.values() if p.intensive
+)
+NON_INTENSIVE: tuple[str, ...] = tuple(
+    p.name for p in SPEC_PROFILES.values() if not p.intensive
+)
+
+
+def profile(name: str) -> SpecProfile:
+    """Look up a profile by benchmark name (KeyError with suggestions)."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(SPEC_PROFILES)}"
+        ) from None

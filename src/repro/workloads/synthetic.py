@@ -1,0 +1,222 @@
+"""Synthetic CPU-level trace generation primitives.
+
+SPEC CPU2006 binaries cannot run here, so each benchmark is modeled as a
+*phase-structured* access process (see DESIGN.md, substitutions):
+
+* execution alternates **busy** phases (dense loads/stores) and **idle**
+  phases (pure computation, no memory accesses), with exponentially
+  distributed dwell lengths measured in instructions. Dwells relative to
+  the refresh interval are what set the paper's λ/β statistics;
+* within a busy phase, accesses split between three components:
+
+  - a **pattern** component walking a large-footprint cursor (sequential,
+    strided, multi-delta, or pointer-chasing) — these are compulsory LLC
+    misses and carry the delta patterns ROP's prediction table learns;
+  - a **working-set** component touching a medium-size region uniformly —
+    resident or not depending on LLC capacity (drives the paper's LLC
+    sensitivity study);
+  - a **hot** component touching a small always-resident set — pure LLC
+    hits that create realistic filtered traffic.
+
+All arrays are generated vectorized with NumPy; a fixed seed makes every
+trace reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rng import make_rng
+from .trace import AccessTrace
+
+__all__ = ["PhaseModel", "generate_trace", "pattern_addresses"]
+
+
+@dataclass(frozen=True)
+class PhaseModel:
+    """Parameters of one benchmark's phase-structured access process.
+
+    Instruction counts are in *instructions*; with the default 1-IPC core
+    at 3.2 GHz, one refresh interval (7.8 µs) is ≈ 25 k instructions —
+    the yardstick for choosing dwell lengths.
+    """
+
+    #: mean busy-phase length (instructions); exponential dwell
+    busy_instr: float
+    #: mean idle-phase length (instructions); 0 disables idle phases
+    idle_instr: float
+    #: loads+stores per instruction during busy phases (CPU level)
+    access_density: float
+    #: access mix within busy phases; fractions sum to ≤ 1, remainder is hot
+    pattern_frac: float
+    ws_frac: float
+    #: address pattern of the pattern component
+    pattern: str = "stream"  #: stream | stride | multidelta | chase
+    stride: int = 1
+    deltas: tuple[int, ...] = (1,)
+    #: fraction of accesses that are stores
+    write_frac: float = 0.2
+    #: working-set component size in cache lines
+    ws_lines: int = 1 << 16
+    #: spatial-run length of working-set accesses: each touch starts at a
+    #: random line and continues sequentially for this many lines (real
+    #: programs access objects, not single lines — and the runs give the
+    #: prefetcher's delta table something to latch onto)
+    ws_run: int = 4
+    #: hot component size in cache lines (always LLC-resident)
+    hot_lines: int = 1 << 9
+    #: footprint the pattern cursor wraps around, in cache lines
+    cursor_space: int = 1 << 23
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("stream", "stride", "multidelta", "chase"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.pattern_frac + self.ws_frac > 1.0 + 1e-9:
+            raise ValueError("pattern_frac + ws_frac must be ≤ 1")
+        if self.access_density <= 0:
+            raise ValueError("access_density must be positive")
+
+
+def pattern_addresses(
+    kind: str,
+    n: int,
+    cursor: int,
+    space: int,
+    rng: np.random.Generator,
+    *,
+    stride: int = 1,
+    deltas: tuple[int, ...] = (1,),
+) -> tuple[np.ndarray, int]:
+    """Generate ``n`` pattern-component line addresses from ``cursor``.
+
+    Returns ``(lines, new_cursor)``; addresses wrap modulo ``space``.
+
+    * ``stream`` — consecutive lines (delta +1);
+    * ``stride`` — constant delta ``stride``;
+    * ``multidelta`` — cyclic delta tuple (the multi-delta patterns VLDP
+      was designed for, e.g. ``(1, 1, 3)``);
+    * ``chase`` — pointer chasing: pseudo-random jumps with no learnable
+      delta structure (adversarial for the prefetcher).
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.int64), cursor
+    if kind == "stream":
+        steps = np.ones(n, dtype=np.int64)
+    elif kind == "stride":
+        steps = np.full(n, stride, dtype=np.int64)
+    elif kind == "multidelta":
+        pattern = np.asarray(deltas, dtype=np.int64)
+        reps = -(-n // len(pattern))
+        steps = np.tile(pattern, reps)[:n]
+    elif kind == "chase":
+        # unpredictable strides drawn fresh each step
+        steps = rng.integers(1, space // 4, size=n, dtype=np.int64)
+    else:
+        raise ValueError(f"unknown pattern kind {kind!r}")
+    lines = (cursor + np.cumsum(steps)) % space
+    return lines, int(lines[-1])
+
+
+@dataclass
+class _GenState:
+    """Mutable generation cursors carried across phases."""
+
+    cursor: int = 0
+    rng: np.random.Generator = field(default_factory=lambda: make_rng(0))
+
+
+def _busy_phase(
+    model: PhaseModel, n_instr: int, state: _GenState
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate the accesses of one busy phase (gaps, lines, writes)."""
+    rng = state.rng
+    n_access = max(1, int(n_instr * model.access_density))
+    # instruction gaps: multinomial split of the phase across accesses
+    gaps = rng.multinomial(n_instr, np.full(n_access, 1.0 / n_access)).astype(np.int64)
+    # component assignment
+    u = rng.random(n_access)
+    is_pattern = u < model.pattern_frac
+    is_ws = (~is_pattern) & (u < model.pattern_frac + model.ws_frac)
+    is_hot = ~(is_pattern | is_ws)
+    lines = np.empty(n_access, dtype=np.int64)
+    np_pattern = int(is_pattern.sum())
+    if np_pattern:
+        pat, state.cursor = pattern_addresses(
+            model.pattern,
+            np_pattern,
+            state.cursor,
+            model.cursor_space,
+            rng,
+            stride=model.stride,
+            deltas=model.deltas,
+        )
+        lines[is_pattern] = pat
+    n_ws = int(is_ws.sum())
+    if n_ws:
+        # working-set region sits directly above the cursor space; accesses
+        # come in short sequential runs from random bases (spatial locality)
+        run = max(1, model.ws_run)
+        n_runs = -(-n_ws // run)
+        bases = rng.integers(0, model.ws_lines, size=n_runs, dtype=np.int64)
+        ws_addrs = (np.repeat(bases, run)[:n_ws] + np.tile(
+            np.arange(run, dtype=np.int64), n_runs
+        )[:n_ws]) % model.ws_lines
+        lines[is_ws] = model.cursor_space + ws_addrs
+    n_hot = int(is_hot.sum())
+    if n_hot:
+        # hot region sits above the working set
+        lines[is_hot] = (
+            model.cursor_space
+            + model.ws_lines
+            + rng.integers(0, model.hot_lines, size=n_hot, dtype=np.int64)
+        )
+    writes = rng.random(n_access) < model.write_frac
+    return gaps, lines, writes
+
+
+def generate_trace(
+    model: PhaseModel,
+    total_instructions: int,
+    seed: int,
+    *,
+    tag: str = "trace",
+) -> AccessTrace:
+    """Generate a CPU-level access trace of ``total_instructions``.
+
+    Phases alternate busy → idle until the instruction budget is spent;
+    idle phases contribute only to the gap before the next access.
+    """
+    if total_instructions <= 0:
+        raise ValueError("total_instructions must be positive")
+    state = _GenState(rng=make_rng(seed, tag))
+    rng = state.rng
+    gaps_parts: list[np.ndarray] = []
+    lines_parts: list[np.ndarray] = []
+    writes_parts: list[np.ndarray] = []
+    executed = 0
+    pending_idle = 0
+    while executed < total_instructions:
+        busy = int(rng.exponential(model.busy_instr)) + 1
+        busy = min(busy, total_instructions - executed)
+        g, l, w = _busy_phase(model, busy, state)
+        if pending_idle and len(g):
+            g = g.copy()
+            g[0] += pending_idle
+            pending_idle = 0
+        gaps_parts.append(g)
+        lines_parts.append(l)
+        writes_parts.append(w)
+        executed += busy
+        if model.idle_instr > 0 and executed < total_instructions:
+            idle = int(rng.exponential(model.idle_instr)) + 1
+            idle = min(idle, total_instructions - executed)
+            pending_idle += idle
+            executed += idle
+    return AccessTrace(
+        np.concatenate(gaps_parts),
+        np.concatenate(lines_parts),
+        np.concatenate(writes_parts),
+        tail_instructions=pending_idle,
+    )

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CoreConfig,
+    LlcConfig,
+    MemoryOrganization,
+    RefreshMode,
+    SystemConfig,
+)
+from repro.dram.timings import DDR4_1600
+
+
+@pytest.fixture
+def timings():
+    """The paper's DDR4-1600 timing set."""
+    return DDR4_1600
+
+
+@pytest.fixture
+def small_org():
+    """A small geometry (fast decode, small footprints) for unit tests."""
+    return MemoryOrganization(channels=1, ranks=2, banks=4, rows=1 << 10, columns=32)
+
+
+@pytest.fixture
+def single_core_config():
+    """The paper's single-core system (1 rank, 2 MB LLC)."""
+    return SystemConfig.single_core()
+
+
+@pytest.fixture
+def quad_core_config():
+    """The paper's 4-core system (4 ranks, rank partitioning, 4 MB LLC)."""
+    return SystemConfig.quad_core()
+
+
+@pytest.fixture
+def tiny_llc():
+    """A 64 KB LLC so eviction paths are exercised with short traces."""
+    return LlcConfig(size_bytes=64 * 1024, ways=4)
+
+
+@pytest.fixture
+def no_refresh_config(single_core_config):
+    """Idealized memory (refresh disabled)."""
+    return single_core_config.with_refresh_mode(RefreshMode.NONE)
+
+
+@pytest.fixture
+def rop_config(single_core_config):
+    """Single-core system with ROP enabled at default parameters."""
+    return single_core_config.with_rop()

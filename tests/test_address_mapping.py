@@ -1,0 +1,124 @@
+"""Unit + property tests for address interleaving schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AddressMapScheme, MemoryOrganization
+from repro.dram.address_mapping import AddressMapper
+from repro.dram.request import Coord
+
+ORG = MemoryOrganization(channels=1, ranks=4, banks=8, rows=1 << 12, columns=128)
+SCHEMES = list(AddressMapScheme)
+
+
+@pytest.fixture(params=SCHEMES, ids=[s.value for s in SCHEMES])
+def mapper(request):
+    return AddressMapper(ORG, request.param)
+
+
+# ---------------------------------------------------------------- round trips
+
+
+@given(line=st.integers(min_value=0, max_value=ORG.total_lines - 1))
+@settings(max_examples=200, deadline=None)
+def test_decode_encode_roundtrip_all_schemes(line):
+    for scheme in SCHEMES:
+        m = AddressMapper(ORG, scheme)
+        assert m.encode(m.decode(line)) == line, scheme
+
+
+@given(
+    chan=st.integers(0, ORG.channels - 1),
+    rank=st.integers(0, ORG.ranks - 1),
+    bank=st.integers(0, ORG.banks - 1),
+    row=st.integers(0, ORG.rows - 1),
+    col=st.integers(0, ORG.columns - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_encode_decode_roundtrip_all_schemes(chan, rank, bank, row, col):
+    coord = Coord(chan, rank, bank, row, col)
+    for scheme in SCHEMES:
+        m = AddressMapper(ORG, scheme)
+        assert m.decode(m.encode(coord)) == coord, scheme
+
+
+def test_decode_is_bijection_prefix(mapper):
+    seen = set()
+    for line in range(4096):
+        c = mapper.decode(line)
+        assert c not in seen
+        seen.add(c)
+
+
+# ---------------------------------------------------------------- scheme shape
+
+
+def test_conventional_consecutive_lines_share_row():
+    m = AddressMapper(ORG, AddressMapScheme.ROW_RANK_BANK_COL)
+    c0, c1 = m.decode(0), m.decode(1)
+    assert (c0.row, c0.bank, c0.rank) == (c1.row, c1.bank, c1.rank)
+    assert c1.col == c0.col + 1
+
+
+def test_conventional_bank_hop_after_row():
+    m = AddressMapper(ORG, AddressMapScheme.ROW_RANK_BANK_COL)
+    c = m.decode(ORG.columns)  # first line past one row
+    assert c.bank == 1 and c.col == 0
+
+
+def test_bank_locality_dwell():
+    m = AddressMapper(ORG, AddressMapScheme.BANK_LOCALITY)
+    dwell = m.bank_dwell_lines
+    assert dwell == ORG.columns << 6  # default row_low_bits = 6
+    banks = {m.decode(i).bank for i in range(dwell)}
+    assert banks == {m.decode(0).bank}
+    assert m.decode(dwell).bank != m.decode(0).bank
+
+
+def test_conventional_dwell_is_one_row():
+    m = AddressMapper(ORG, AddressMapScheme.ROW_RANK_BANK_COL)
+    assert m.bank_dwell_lines == ORG.columns
+
+
+def test_rank_partitioned_top_bits():
+    m = AddressMapper(ORG, AddressMapScheme.RANK_PARTITIONED)
+    slice_lines = ORG.total_lines // ORG.ranks
+    for rank in range(ORG.ranks):
+        base = m.partition_base(rank)
+        assert base == rank * slice_lines
+        assert m.decode(base).rank == rank
+        assert m.decode(base + slice_lines - 1).rank == rank
+
+
+def test_partition_base_requires_partitioned_scheme():
+    m = AddressMapper(ORG, AddressMapScheme.BANK_LOCALITY)
+    with pytest.raises(ValueError):
+        m.partition_base(0)
+
+
+def test_rank_of(mapper):
+    line = 12345
+    c = mapper.decode(line)
+    assert mapper.rank_of(line) == (c.channel, c.rank)
+
+
+def test_encode_out_of_range_rejected(mapper):
+    with pytest.raises(ValueError):
+        mapper.encode(Coord(0, ORG.ranks, 0, 0, 0))
+    with pytest.raises(ValueError):
+        mapper.encode(Coord(0, 0, 0, ORG.rows, 0))
+
+
+def test_non_power_of_two_geometry_rejected():
+    with pytest.raises(ValueError):
+        AddressMapper(
+            MemoryOrganization(ranks=3), AddressMapScheme.BANK_LOCALITY
+        )
+
+
+def test_row_low_bits_clamped_to_row_bits():
+    org = MemoryOrganization(rows=16)  # only 4 row bits
+    m = AddressMapper(org, AddressMapScheme.BANK_LOCALITY, row_low_bits=10)
+    # round trip must still hold with clamped split
+    for line in range(0, org.total_lines, 97):
+        assert m.encode(m.decode(line)) == line

@@ -1,0 +1,111 @@
+"""Unit tests for the bank row-buffer state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.request import ServiceKind
+from repro.dram.timings import DDR4_1600 as T
+
+
+@pytest.fixture
+def bank():
+    return Bank()
+
+
+def test_first_access_is_closed(bank):
+    plan = bank.plan(100, row=5, is_write=False, t=T)
+    assert plan.category is ServiceKind.DRAM_CLOSED
+    assert plan.col_cycle == 100 + T.rcd
+    assert plan.data_end == 100 + T.rcd + T.cl + T.burst
+
+
+def test_row_hit_after_commit(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    p2 = bank.plan(p1.col_cycle + T.ccd, 5, False, T)
+    assert p2.category is ServiceKind.DRAM_HIT
+    assert p2.col_cycle == p1.col_cycle + T.ccd
+
+
+def test_conflict_pays_precharge(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    late = p1.col_cycle + 1000  # all recovery windows elapsed
+    p2 = bank.plan(late, 9, False, T)
+    assert p2.category is ServiceKind.DRAM_CONFLICT
+    assert p2.col_cycle == late + T.rp + T.rcd
+
+
+def test_conflict_waits_for_ras(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    # immediately conflicting: precharge must wait for tRAS from activate
+    p2 = bank.plan(p1.col_cycle + T.ccd, 9, False, T)
+    assert p2.act_cycle >= p1.act_cycle + T.ras + T.rp
+
+
+def test_write_recovery_delays_precharge(bank):
+    p1 = bank.plan(0, 5, True, T)
+    bank.commit(p1, 5, True, T)
+    expected_pre_ok = p1.col_cycle + T.cwl + T.burst + T.wr
+    assert bank.pre_ok_at >= expected_pre_ok
+
+
+def test_ccd_spacing_enforced(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    p2 = bank.plan(p1.col_cycle, 5, False, T)  # ask too early
+    assert p2.col_cycle >= p1.col_cycle + T.ccd
+
+
+def test_not_before_gate(bank):
+    plan = bank.plan(0, 5, False, T, not_before=500)
+    assert plan.act_cycle >= 500
+
+
+def test_act_gate_applies_to_activation(bank):
+    plan = bank.plan(0, 5, False, T, act_gate=300)
+    assert plan.act_cycle >= 300
+
+
+def test_act_gate_ignored_for_hit(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    p2 = bank.plan(p1.col_cycle + T.ccd, 5, False, T, act_gate=10**6)
+    assert p2.category is ServiceKind.DRAM_HIT  # no new ACT needed
+
+
+def test_close_for_refresh(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    bank.close_for_refresh(2000)
+    assert bank.open_row is None
+    assert bank.ready_at >= 2000
+    p2 = bank.plan(100, 5, False, T)
+    assert p2.category is ServiceKind.DRAM_CLOSED
+    assert p2.act_cycle >= 2000
+
+
+def test_quiesce_covers_in_flight_row_cycle(bank):
+    p1 = bank.plan(0, 5, False, T)
+    bank.commit(p1, 5, False, T)
+    assert bank.quiesce_at() >= p1.act_cycle + T.ras
+
+
+def test_plan_has_no_side_effects(bank):
+    before = (bank.open_row, bank.ready_at, bank.pre_ok_at)
+    bank.plan(50, 7, True, T)
+    assert (bank.open_row, bank.ready_at, bank.pre_ok_at) == before
+
+
+def test_write_then_read_same_row(bank):
+    p1 = bank.plan(0, 3, True, T)
+    bank.commit(p1, 3, True, T)
+    p2 = bank.plan(p1.col_cycle + T.ccd, 3, False, T)
+    assert p2.category is ServiceKind.DRAM_HIT
+
+
+def test_data_window_length_is_burst(bank):
+    for is_write in (False, True):
+        plan = Bank().plan(0, 1, is_write, T)
+        assert plan.data_end - plan.data_start == T.burst

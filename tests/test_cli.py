@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "DDR4-1600" in out
+    assert "tREFI=6240" in out
+    assert "WL1" in out
+
+
+def test_compare_smoke(capsys):
+    assert main(["compare", "gobmk", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "gobmk" in out and "IPC" in out
+
+
+def test_analyze_smoke(capsys):
+    assert main(["analyze", "gobmk", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "λ@1x" in out or "non-blocking" in out
+
+
+def test_fig1_smoke(capsys):
+    assert main(["fig", "1", "gobmk", "--scale", "smoke"]) == 0
+    assert "AVERAGE" in capsys.readouterr().out
+
+
+def test_fig_unknown(capsys):
+    assert main(["fig", "99", "gobmk", "--scale", "smoke"]) == 2
+
+
+def test_instructions_override(capsys):
+    assert main(["compare", "gobmk", "--instructions", "200000"]) == 0
+    assert "requests" in capsys.readouterr().out
+
+
+def test_schemes_smoke(capsys):
+    assert main(["schemes", "gobmk", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "pausing" in out and "rop" in out
+
+
+def test_parser_structure():
+    parser = build_parser()
+    args = parser.parse_args(["fig", "7", "lbm", "--scale", "smoke", "--seed", "9"])
+    assert args.figure == "7"
+    assert args.benchmarks == ["lbm"]
+    assert args.seed == 9

@@ -1,0 +1,110 @@
+"""Unit tests for configuration dataclasses and derived values."""
+
+import pytest
+
+from repro import (
+    AddressMapScheme,
+    CoreConfig,
+    LlcConfig,
+    MemoryOrganization,
+    RefreshMode,
+    RopConfig,
+    SystemConfig,
+    WindowBase,
+)
+from repro.dram.timings import DDR4_1600
+
+
+class TestMemoryOrganization:
+    def test_default_capacity(self):
+        org = MemoryOrganization()
+        # 1 rank × 8 banks × 64 Ki rows × 128 lines × 64 B = 4 GiB
+        assert org.capacity_bytes == 4 * 1024**3
+
+    def test_line_hierarchy(self):
+        org = MemoryOrganization(ranks=2)
+        assert org.lines_per_rank == org.banks * org.lines_per_bank
+        assert org.total_lines == 2 * org.lines_per_rank
+
+
+class TestLlc:
+    def test_sets_power_of_two(self):
+        llc = LlcConfig(size_bytes=2 * 1024 * 1024, ways=16)
+        assert llc.sets == 2 * 1024 * 1024 // (16 * 64)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            LlcConfig(size_bytes=3 * 1024 * 1024, ways=16).sets
+
+
+class TestRopConfig:
+    def test_window_trefi_default(self):
+        cfg = RopConfig()
+        assert cfg.window_cycles(DDR4_1600) == DDR4_1600.refi
+
+    def test_window_trfc_base(self):
+        cfg = RopConfig(window_base=WindowBase.TRFC, window_mult=2.0)
+        assert cfg.window_cycles(DDR4_1600) == 2 * DDR4_1600.rfc
+
+    def test_window_mult_fractional(self):
+        cfg = RopConfig(window_mult=0.5)
+        assert cfg.window_cycles(DDR4_1600) == DDR4_1600.refi // 2
+
+
+class TestSystemConfig:
+    def test_single_core_defaults(self):
+        cfg = SystemConfig.single_core()
+        assert cfg.organization.ranks == 1
+        assert cfg.llc.size_bytes == 2 * 1024 * 1024
+        assert not cfg.rop.enabled
+
+    def test_quad_core_defaults(self):
+        cfg = SystemConfig.quad_core()
+        assert cfg.organization.ranks == 4
+        assert cfg.llc.size_bytes == 4 * 1024 * 1024
+        assert cfg.address_map is AddressMapScheme.RANK_PARTITIONED
+
+    def test_quad_core_unpartitioned(self):
+        cfg = SystemConfig.quad_core(rank_partitioned=False)
+        assert cfg.address_map is AddressMapScheme.BANK_LOCALITY
+
+    def test_with_rop_enables(self):
+        cfg = SystemConfig.single_core().with_rop(sram_lines=32)
+        assert cfg.rop.enabled and cfg.rop.sram_lines == 32
+
+    def test_with_refresh_mode(self):
+        cfg = SystemConfig.single_core().with_refresh_mode(RefreshMode.NONE)
+        assert not cfg.refresh.enabled
+
+    def test_with_llc_size(self):
+        cfg = SystemConfig.single_core().with_llc_size(1 << 20)
+        assert cfg.llc.size_bytes == 1 << 20
+
+    def test_effective_timings_auto(self):
+        cfg = SystemConfig.single_core()
+        assert cfg.effective_timings() is cfg.timings
+
+    def test_effective_timings_fgr2(self):
+        cfg = SystemConfig.single_core().with_refresh_mode(RefreshMode.FGR_2X)
+        t = cfg.effective_timings()
+        assert t.refi == cfg.timings.refi // 2
+
+    def test_effective_timings_fgr4(self):
+        cfg = SystemConfig.single_core().with_refresh_mode(RefreshMode.FGR_4X)
+        assert cfg.effective_timings().refi == cfg.timings.refi // 4
+
+    def test_effective_timings_per_bank(self):
+        cfg = SystemConfig.single_core().with_refresh_mode(RefreshMode.PER_BANK)
+        t = cfg.effective_timings()
+        assert t.refi == cfg.timings.refi // cfg.organization.banks
+        assert t.rfc < cfg.timings.rfc
+
+    def test_config_immutable(self):
+        cfg = SystemConfig.single_core()
+        with pytest.raises(Exception):
+            cfg.address_map = AddressMapScheme.RANK_PARTITIONED  # type: ignore
+
+    def test_core_defaults(self):
+        core = CoreConfig()
+        assert core.cpu_clock_mult == 4
+        assert core.mlp >= 1

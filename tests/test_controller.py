@@ -1,0 +1,235 @@
+"""Unit/integration tests for the memory controller: FR-FCFS, write
+draining, refresh blocking, bus serialization."""
+
+import pytest
+
+from repro import MemoryOrganization, RefreshMode, SchedulerConfig, SystemConfig
+from repro.dram import MemorySystem
+from repro.dram.request import ReqKind, ServiceKind
+
+
+def make_system(**kwargs) -> MemorySystem:
+    cfg = SystemConfig.single_core(**kwargs)
+    return MemorySystem(cfg)
+
+
+def line_in_bank(ms: MemorySystem, bank: int, row: int, col: int = 0, rank: int = 0) -> int:
+    from repro.dram.request import Coord
+
+    return ms.controller.mapper.encode(Coord(0, rank, bank, row, col))
+
+
+class TestBasicService:
+    def test_single_read_latency(self):
+        ms = make_system()
+        t = ms.controller.t
+        req = ms.submit_read(0, 0)
+        ms.run()
+        # closed bank: tRCD + CL + burst
+        assert req.complete_cycle == t.rcd + t.cl + t.burst
+        assert req.service is ServiceKind.DRAM_CLOSED
+
+    def test_row_hit_sequence(self):
+        ms = make_system()
+        r1 = ms.submit_read(0, 0)
+        r2 = ms.submit_read(1, 0)  # same row, next line
+        ms.run()
+        assert r2.service is ServiceKind.DRAM_HIT
+        assert r2.complete_cycle > r1.complete_cycle
+
+    def test_writes_complete_silently(self):
+        ms = make_system()
+        ms.submit_write(0, 0)
+        ms.run()
+        assert ms.stats.writes == 1
+        assert ms.controller.pending_requests() == 0
+
+    def test_reads_counted(self):
+        ms = make_system()
+        for i in range(10):
+            ms.schedule_read(i, i * 50)
+        ms.run()
+        assert ms.stats.reads == 10
+        assert ms.stats.reads_completed == 10
+
+    def test_on_complete_callback_fires(self):
+        ms = make_system()
+        done = []
+        ms.submit_read(0, 0, on_complete=done.append)
+        ms.run()
+        assert len(done) == 1
+        assert done[0] > 0
+
+
+class TestFrFcfs:
+    def test_row_hit_preferred_over_older_conflict(self):
+        ms = make_system()
+        # warm read opens row 0 and keeps the bank busy for a few cycles,
+        # so both followers queue and the scheduler gets to reorder them
+        ms.submit_read(line_in_bank(ms, 0, 0), 0)
+        conflict_done = []
+        hit_done = []
+        ms.schedule_read(line_in_bank(ms, 0, 1), 1, on_complete=conflict_done.append)
+        ms.schedule_read(
+            line_in_bank(ms, 0, 0, col=5), 2, on_complete=hit_done.append
+        )
+        ms.run()
+        # the younger row hit was serviced before the older conflict
+        assert ms.stats.row_hits == 1
+        assert ms.stats.row_conflicts == 1
+        assert hit_done[0] < conflict_done[0]
+
+    def test_bank_parallelism(self):
+        ms = make_system()
+        r1 = ms.submit_read(line_in_bank(ms, 0, 0), 0)
+        r2 = ms.submit_read(line_in_bank(ms, 1, 0), 0)
+        ms.run()
+        t = ms.controller.t
+        # second bank activates in parallel (only rrd + bus apart), far less
+        # than a serialized second closed access
+        assert r2.complete_cycle < r1.complete_cycle + t.read_closed_latency
+
+
+class TestWriteDrain:
+    def test_drain_hysteresis(self):
+        sched = SchedulerConfig(write_drain_high=8, write_drain_low=2)
+        ms = make_system(scheduler=sched)
+        for i in range(8):
+            ms.submit_write(i * 1000, 0)
+        ms.run()
+        # all writes drained below the low watermark
+        assert sum(len(q) for q in ms.controller.write_q) <= 2
+
+    def test_reads_prioritized_below_watermark(self):
+        ms = make_system()
+        w = ms.submit_write(line_in_bank(ms, 0, 3), 0)
+        r = ms.submit_read(line_in_bank(ms, 1, 0), 0)
+        ms.run()
+        # the read is not stuck behind the buffered write
+        assert r.complete_cycle > 0
+
+    def test_work_conserving_writes(self):
+        # with no reads at all, writes still flow out
+        ms = make_system()
+        for i in range(5):
+            ms.submit_write(i, 0)
+        ms.run()
+        assert sum(len(q) for q in ms.controller.write_q) == 0
+
+
+class TestRefreshBlocking:
+    def test_refresh_blocks_read(self):
+        ms = make_system()
+        t = ms.controller.t
+        # arrive just after the first refresh tick
+        req = ms.schedule_read(0, t.refi + 1)
+        ms.run()
+        # first refresh starts at tREFI; the read waits for the unlock
+        reads = ms.stats
+        assert reads.reads_arriving_in_lock == 1
+        assert reads.read_latency_max >= t.rfc - 10
+
+    def test_refresh_count_matches_time(self):
+        ms = make_system()
+        t = ms.controller.t
+        horizon = 10 * t.refi + 100
+        ms.schedule_read(0, horizon - 50)  # keep work alive to the horizon
+        ms.run(until=horizon)
+        assert ms.stats.refreshes == 10
+
+    def test_no_refresh_mode(self):
+        ms = MemorySystem(
+            SystemConfig.single_core().with_refresh_mode(RefreshMode.NONE)
+        )
+        ms.schedule_read(0, 100_000)
+        ms.run()
+        assert ms.stats.refreshes == 0
+
+    def test_refresh_closes_rows(self):
+        ms = make_system()
+        t = ms.controller.t
+        ms.submit_read(0, 0)
+        ms.run()
+        ms.schedule_read(1, t.refi + t.rfc + 10)  # same row, after refresh
+        ms.run()
+        # the refresh precharged the row: second access is closed, not a hit
+        assert ms.stats.row_closed == 2
+
+    def test_fgr_modes_refresh_more_often(self):
+        counts = {}
+        for mode in (RefreshMode.AUTO_1X, RefreshMode.FGR_2X, RefreshMode.FGR_4X):
+            ms = MemorySystem(SystemConfig.single_core().with_refresh_mode(mode))
+            t0 = SystemConfig.single_core().timings
+            ms.schedule_read(0, 20 * t0.refi)
+            ms.run()
+            counts[mode] = ms.stats.refreshes
+        assert counts[RefreshMode.FGR_2X] == pytest.approx(
+            2 * counts[RefreshMode.AUTO_1X], abs=2
+        )
+        assert counts[RefreshMode.FGR_4X] == pytest.approx(
+            4 * counts[RefreshMode.AUTO_1X], abs=4
+        )
+
+    def test_elastic_postpones_then_catches_up(self):
+        ms = MemorySystem(
+            SystemConfig.single_core().with_refresh_mode(RefreshMode.ELASTIC)
+        )
+        t = ms.controller.t
+        # keep demand pending across several ticks
+        for i in range(400):
+            ms.schedule_read(i * 7919 % 100000, 10 + i * 40)
+        ms.run(until=6 * t.refi)
+        # refreshes were issued (possibly in catch-up bursts) — none lost
+        assert ms.stats.refreshes >= 3
+
+    def test_per_bank_mode_runs(self):
+        ms = MemorySystem(
+            SystemConfig.single_core().with_refresh_mode(RefreshMode.PER_BANK)
+        )
+        t = ms.controller.t
+        ms.schedule_read(0, 20 * t.refi)
+        ms.run()
+        assert ms.stats.refreshes > 0
+        # per-bank tRFC is shorter
+        assert t.rfc < SystemConfig.single_core().timings.rfc
+
+
+class TestBus:
+    def test_bus_serializes_bursts(self):
+        ms = make_system()
+        t = ms.controller.t
+        reqs = [ms.submit_read(line_in_bank(ms, b, 0), 0) for b in range(4)]
+        ms.run()
+        windows = sorted((r.complete_cycle - t.burst, r.complete_cycle) for r in reqs)
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s2 >= e1  # no overlapping data transfers
+
+    def test_busy_cycles_accumulate(self):
+        ms = make_system()
+        for i in range(6):
+            ms.schedule_read(i * 1000, i * 100)
+        ms.run()
+        t = ms.controller.t
+        assert ms.controller.channels[0].busy_cycles == 6 * t.burst
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_stats(self):
+        def run_once():
+            ms = make_system()
+            for i in range(500):
+                ms.schedule_read((i * 37) % 4096, i * 17)
+                if i % 3 == 0:
+                    ms.schedule_write((i * 91) % 4096, i * 17 + 5)
+            ms.run()
+            s = ms.finish()
+            return (
+                s.reads_completed,
+                s.read_latency_sum,
+                s.row_hits,
+                s.row_conflicts,
+                s.refreshes,
+                s.end_cycle,
+            )
+
+        assert run_once() == run_once()

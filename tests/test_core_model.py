@@ -1,0 +1,100 @@
+"""Unit tests for the trace-driven core model."""
+
+import pytest
+
+from repro import CoreConfig, RefreshMode, SystemConfig
+from repro.cpu.core import Core
+from repro.dram import MemorySystem
+from repro.workloads.trace import AccessTrace
+
+
+def run_core(trace, core_cfg=None, sys_cfg=None):
+    cfg = sys_cfg or SystemConfig.single_core().with_refresh_mode(RefreshMode.NONE)
+    ms = MemorySystem(cfg)
+    core = Core(0, trace, ms, core_cfg or cfg.core)
+    core.start()
+    ms.run()
+    return core, ms
+
+
+def test_empty_trace_finishes_immediately():
+    tr = AccessTrace.from_lists([], [], [])
+    core, _ = run_core(tr)
+    assert core.finished
+
+
+def test_compute_only_ipc_is_one():
+    # one access then a long compute tail: IPC ≈ 1 at base_cpi = 1
+    tr = AccessTrace.from_lists([0], [0], [False], tail_instructions=100_000)
+    core, _ = run_core(tr)
+    assert core.finished
+    assert core.ipc == pytest.approx(1.0, rel=0.01)
+
+
+def test_memory_bound_ipc_below_one():
+    n = 2000
+    tr = AccessTrace.from_lists([1] * n, list(range(0, 10 * n, 10)), [False] * n)
+    core, _ = run_core(tr)
+    assert core.finished
+    assert core.ipc < 0.5
+
+
+def test_mlp_limits_outstanding():
+    n = 500
+    tr = AccessTrace.from_lists([0] * n, list(range(n)), [False] * n)
+    core, ms = run_core(tr, core_cfg=CoreConfig(mlp=2))
+    assert core.finished
+    assert core.stall_events > 0
+
+
+def test_higher_mlp_not_slower():
+    n = 1000
+    lines = [(i * 977) % 8192 for i in range(n)]
+    tr = AccessTrace.from_lists([2] * n, lines, [False] * n)
+    slow, _ = run_core(tr, core_cfg=CoreConfig(mlp=1))
+    fast, _ = run_core(tr, core_cfg=CoreConfig(mlp=8))
+    assert fast.cpu_cycles <= slow.cpu_cycles
+
+
+def test_writes_do_not_stall():
+    n = 500
+    writes = AccessTrace.from_lists([1] * n, list(range(n)), [True] * n)
+    core, _ = run_core(writes, core_cfg=CoreConfig(mlp=1))
+    # posted writes: the core retires at full speed
+    assert core.ipc == pytest.approx(1.0, rel=0.15)
+    assert core.stall_events == 0
+
+
+def test_counts_match_trace():
+    tr = AccessTrace.from_lists(
+        [1] * 6, list(range(6)), [False, True, False, True, True, False]
+    )
+    core, ms = run_core(tr)
+    assert core.reads_issued == 3
+    assert core.writes_issued == 3
+    assert ms.stats.reads == 3
+    assert ms.stats.writes == 3
+
+
+def test_base_cpi_scales_time():
+    tr = AccessTrace.from_lists([0], [0], [False], tail_instructions=10_000)
+    slow, _ = run_core(tr, core_cfg=CoreConfig(base_cpi=2.0))
+    fast, _ = run_core(tr, core_cfg=CoreConfig(base_cpi=1.0))
+    assert slow.cpu_cycles == pytest.approx(2 * fast.cpu_cycles, rel=0.05)
+
+
+def test_cpu_clock_mult_conversion():
+    tr = AccessTrace.from_lists([0], [0], [False], tail_instructions=4_000)
+    core, _ = run_core(tr, core_cfg=CoreConfig(cpu_clock_mult=4))
+    # 4000 CPU cycles ≈ 1000 memory cycles
+    assert core.finish_cycle == pytest.approx(1_000, rel=0.1)
+
+
+def test_refresh_slows_memory_bound_core():
+    n = 4000
+    tr = AccessTrace.from_lists([5] * n, list(range(n)), [False] * n)
+    with_ref, _ = run_core(tr, sys_cfg=SystemConfig.single_core())
+    without, _ = run_core(
+        tr, sys_cfg=SystemConfig.single_core().with_refresh_mode(RefreshMode.NONE)
+    )
+    assert with_ref.cpu_cycles > without.cpu_cycles

@@ -1,0 +1,170 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import pytest
+
+from repro import (
+    LlcConfig,
+    MemoryOrganization,
+    RefreshMode,
+    RopConfig,
+    SystemConfig,
+)
+from repro.cpu import filter_trace, run_cores
+from repro.dram import MemorySystem
+from repro.workloads.trace import AccessTrace
+
+
+class TestExtremeGeometries:
+    def test_single_bank_rank(self):
+        org = MemoryOrganization(banks=1, rows=1 << 8, columns=16)
+        cfg = SystemConfig(organization=org)
+        ms = MemorySystem(cfg)
+        for i in range(200):
+            ms.schedule_read(i % org.total_lines, i * 30)
+        ms.run()
+        assert ms.finish().reads_completed == 200
+
+    def test_two_channel_memory(self):
+        org = MemoryOrganization(channels=2, ranks=2)
+        cfg = SystemConfig(organization=org)
+        ms = MemorySystem(cfg)
+        for i in range(500):
+            ms.schedule_read((i * 12345) % org.total_lines, i * 10)
+        ms.run()
+        assert ms.finish().reads_completed == 500
+
+    def test_rop_on_multi_channel(self):
+        org = MemoryOrganization(channels=2, ranks=2)
+        cfg = SystemConfig(organization=org).with_rop(training_refreshes=3)
+        ms = MemorySystem(cfg)
+        for i in range(4000):
+            ms.schedule_read(i, i * 8)
+        ms.run()
+        st = ms.finish()
+        assert st.reads_completed == 4000
+
+    def test_tiny_rows(self):
+        org = MemoryOrganization(rows=2, columns=2, banks=2)
+        cfg = SystemConfig(organization=org)
+        ms = MemorySystem(cfg)
+        for i in range(50):
+            ms.schedule_read(i % org.total_lines, i * 40)
+        ms.run()
+        assert ms.finish().reads_completed == 50
+
+
+class TestDegenerateTraffic:
+    def test_same_line_hammer(self):
+        ms = MemorySystem(SystemConfig.single_core())
+        for i in range(1000):
+            ms.schedule_read(42, i * 6)
+        ms.run()
+        st = ms.finish()
+        assert st.reads_completed == 1000
+        assert st.row_hit_rate > 0.99
+
+    def test_simultaneous_arrivals(self):
+        ms = MemorySystem(SystemConfig.single_core())
+        for i in range(32):
+            ms.schedule_read(i * 1000, 100)  # all at the same cycle
+        ms.run()
+        assert ms.finish().reads_completed == 32
+
+    def test_write_only_workload_with_rop(self):
+        cfg = SystemConfig.single_core().with_rop(training_refreshes=3)
+        ms = MemorySystem(cfg)
+        for i in range(3000):
+            ms.schedule_write(i, i * 15)
+        ms.run()
+        st = ms.finish()
+        assert st.writes == 3000
+        assert st.sram_hits == 0  # nothing to serve
+
+    def test_single_request(self):
+        ms = MemorySystem(SystemConfig.single_core())
+        req = ms.submit_read(7, 0)
+        ms.run()
+        assert req.complete_cycle > 0
+        assert req.latency == req.complete_cycle - req.arrival
+
+    def test_zero_length_core_trace(self):
+        tr = AccessTrace.from_lists([], [], [])
+        r = run_cores([tr], SystemConfig.single_core())
+        assert r.cores[0].instructions == 0
+
+
+class TestConfigValidation:
+    def test_rop_window_positive(self):
+        from repro.core.profiler import PatternProfiler
+
+        with pytest.raises(ValueError):
+            PatternProfiler(window=-5)
+
+    def test_sram_one_line_works(self):
+        cfg = SystemConfig.single_core().with_rop(sram_lines=1, training_refreshes=3)
+        ms = MemorySystem(cfg)
+        for i in range(3000):
+            ms.schedule_read(i, i * 12)
+        ms.run()
+        assert ms.finish().reads_completed == 3000
+
+    def test_llc_single_way(self):
+        llc = LlcConfig(size_bytes=64 * 64, ways=1)
+        tr = AccessTrace.from_lists([1, 1, 1], [0, 64, 0], [False] * 3)
+        res = filter_trace(tr, llc)
+        assert res.misses == 3  # 0 and 64 alias in the direct-mapped set
+
+
+class TestRefreshModeInteractions:
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            RefreshMode.AUTO_1X,
+            RefreshMode.FGR_2X,
+            RefreshMode.FGR_4X,
+            RefreshMode.PER_BANK,
+            RefreshMode.ELASTIC,
+            RefreshMode.PAUSING,
+            RefreshMode.NONE,
+        ],
+    )
+    def test_every_mode_completes_traffic(self, mode):
+        ms = MemorySystem(SystemConfig.single_core().with_refresh_mode(mode))
+        for i in range(2500):
+            ms.schedule_read(i, i * 9)
+        ms.run()
+        assert ms.finish().reads_completed == 2500
+
+    def test_rop_with_fgr(self):
+        cfg = SystemConfig.single_core().with_refresh_mode(RefreshMode.FGR_2X)
+        cfg = cfg.with_rop(training_refreshes=5)
+        ms = MemorySystem(cfg)
+        for i in range(6000):
+            ms.schedule_read(i, i * 10)
+        ms.run()
+        st = ms.finish()
+        assert st.reads_completed == 6000
+        assert st.refreshes > 0
+
+    def test_rop_with_unstaggered_ranks(self):
+        from repro import RefreshConfig
+        from dataclasses import replace
+
+        cfg = SystemConfig.quad_core().with_rop(training_refreshes=3)
+        cfg = replace(cfg, refresh=RefreshConfig(stagger=False))
+        ms = MemorySystem(cfg)
+        for i in range(2000):
+            ms.schedule_read(i * 64, i * 12)
+        ms.run()
+        assert ms.finish().reads_completed == 2000
+
+
+class TestBusAccounting:
+    def test_busy_cycles_bounded_by_time(self):
+        ms = MemorySystem(SystemConfig.single_core())
+        for i in range(4000):
+            ms.schedule_read(i, i * 6)
+        ms.run()
+        ch = ms.controller.channels[0]
+        assert ch.busy_cycles <= ms.now
+        assert ch.busy_cycles == 4000 * ms.controller.t.burst

@@ -1,0 +1,131 @@
+"""Unit tests for the DRAM and SRAM energy models."""
+
+import pytest
+
+from repro import RefreshMode, SystemConfig
+from repro.energy import (
+    SRAM_ACCESS_NJ,
+    SRAM_LATENCY_CYCLES,
+    DramEnergyParams,
+    dram_energy,
+    sram_access_nj,
+    sram_energy_nj,
+    system_energy,
+)
+from repro.stats.collectors import ControllerStats
+
+
+def stats(**kw) -> ControllerStats:
+    s = ControllerStats()
+    for k, v in kw.items():
+        setattr(s, k, v)
+    return s
+
+
+CFG = SystemConfig.single_core()
+P = DramEnergyParams()
+
+
+class TestDramEnergy:
+    def test_background_scales_with_time(self):
+        a = dram_energy(stats(end_cycle=1000), CFG)
+        b = dram_energy(stats(end_cycle=2000), CFG)
+        assert b.background == pytest.approx(2 * a.background)
+
+    def test_background_scales_with_ranks(self):
+        quad = SystemConfig.quad_core()
+        a = dram_energy(stats(end_cycle=1000), CFG)
+        b = dram_energy(stats(end_cycle=1000), quad)
+        assert b.background == pytest.approx(4 * a.background)
+
+    def test_background_unit_sanity(self):
+        # 330 mW for 1 s (8e8 cycles at 1.25 ns) = 0.33 J = 3.3e8 nJ
+        e = dram_energy(stats(end_cycle=800_000_000), CFG)
+        assert e.background == pytest.approx(0.33e9, rel=0.01)
+
+    def test_refresh_energy_per_command(self):
+        e = dram_energy(stats(refreshes=10), CFG)
+        assert e.refresh == pytest.approx(10 * P.refresh_nj)
+
+    def test_fgr_scales_refresh_energy(self):
+        cfg2 = CFG.with_refresh_mode(RefreshMode.FGR_2X)
+        e = dram_energy(stats(refreshes=10), cfg2)
+        # each FGR-2x REF locks for tRFC2 < tRFC → less energy per REF
+        assert e.refresh < 10 * P.refresh_nj
+        assert e.refresh == pytest.approx(
+            10 * P.refresh_nj * cfg2.effective_timings().rfc / CFG.timings.rfc
+        )
+
+    def test_event_energies(self):
+        e = dram_energy(
+            stats(row_closed=3, row_conflicts=2, reads=7, writes=4, prefetches=1), CFG
+        )
+        assert e.activate == pytest.approx(5 * P.act_pre_nj)
+        assert e.read == pytest.approx(8 * P.read_nj)  # prefetches are reads
+        assert e.write == pytest.approx(4 * P.write_nj)
+
+    def test_total_is_sum(self):
+        e = dram_energy(stats(end_cycle=100, refreshes=2, reads=3), CFG)
+        assert e.total == pytest.approx(
+            e.background + e.activate + e.read + e.write + e.refresh + e.sram
+        )
+
+    def test_refresh_fraction(self):
+        e = dram_energy(stats(end_cycle=10_000, refreshes=5), CFG)
+        assert 0 < e.refresh_fraction < 1
+
+    def test_custom_params(self):
+        params = DramEnergyParams(refresh_nj=1000.0)
+        e = dram_energy(stats(refreshes=1), CFG, params)
+        assert e.refresh == 1000.0
+
+
+class TestSramEnergy:
+    def test_table3_exact_values(self):
+        assert sram_access_nj(16) == 0.0132
+        assert sram_access_nj(32) == 0.0135
+        assert sram_access_nj(64) == 0.0137
+        assert sram_access_nj(128) == 0.0152
+
+    def test_table3_latency(self):
+        assert SRAM_LATENCY_CYCLES == 3
+
+    def test_interpolation_between_sizes(self):
+        mid = sram_access_nj(48)
+        assert SRAM_ACCESS_NJ[32] < mid < SRAM_ACCESS_NJ[64]
+
+    def test_extrapolation_monotone(self):
+        assert sram_access_nj(256) > SRAM_ACCESS_NJ[128]
+        assert sram_access_nj(8) == SRAM_ACCESS_NJ[16]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            sram_access_nj(0)
+
+    def test_dynamic_plus_leakage(self):
+        time_ns = 1e6
+        e = sram_energy_nj(64, reads=100, writes=50, active_time_ns=time_ns)
+        dyn = 150 * SRAM_ACCESS_NJ[64]
+        leak = 0.002 * 64 * time_ns * 1e-3  # mW · ns → nJ
+        assert e == pytest.approx(dyn + leak)
+        # leakage is negligible against DRAM background power (330 mW/rank)
+        assert leak / (330.0 * time_ns * 1e-3) < 0.001
+
+
+class TestSystemEnergy:
+    def test_no_rop_no_sram_term(self):
+        e = system_energy(stats(end_cycle=1000), CFG)
+        assert e.sram == 0.0
+
+    def test_rop_adds_sram_term(self):
+        cfg = CFG.with_rop()
+        s = stats(end_cycle=1000, sram_fills=10, sram_hits_in_lock=5)
+        e = system_energy(s, cfg)
+        assert e.sram > 0
+
+    def test_sram_term_is_small(self):
+        # the paper: SRAM "slightly" increases memory power
+        cfg = CFG.with_rop()
+        s = stats(end_cycle=1_000_000, sram_fills=1000, sram_hits_in_lock=500)
+        e = system_energy(s, cfg)
+        assert e.sram / e.total < 0.01

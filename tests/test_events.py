@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(30, lambda c: fired.append((30, c)))
+    q.push(10, lambda c: fired.append((10, c)))
+    q.push(20, lambda c: fired.append((20, c)))
+    q.run()
+    assert fired == [(10, 10), (20, 20), (30, 30)]
+
+
+def test_same_cycle_insertion_order():
+    q = EventQueue()
+    fired = []
+    for tag in ("a", "b", "c"):
+        q.push(5, lambda c, t=tag: fired.append(t))
+    q.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_tracks_dispatch():
+    q = EventQueue()
+    q.push(17, lambda c: None)
+    q.run()
+    assert q.now == 17
+
+
+def test_push_in_past_rejected():
+    q = EventQueue()
+    q.push(10, lambda c: None)
+    q.run()
+    with pytest.raises(ValueError):
+        q.push(5, lambda c: None)
+
+
+def test_run_until_inclusive():
+    q = EventQueue()
+    fired = []
+    q.push(10, lambda c: fired.append(10))
+    q.push(11, lambda c: fired.append(11))
+    q.run(until=10)
+    assert fired == [10]
+    q.run(until=11)
+    assert fired == [10, 11]
+
+
+def test_events_scheduled_during_dispatch():
+    q = EventQueue()
+    fired = []
+
+    def first(c):
+        fired.append("first")
+        q.push(c + 5, lambda c2: fired.append("second"))
+
+    q.push(1, first)
+    q.run()
+    assert fired == ["first", "second"]
+
+
+def test_housekeeping_does_not_sustain_idle_run():
+    q = EventQueue()
+    count = [0]
+
+    def tick(c):
+        count[0] += 1
+        q.push(c + 10, tick, housekeeping=True)
+
+    q.push(10, tick, housekeeping=True)
+    q.run()  # no work pending: stops immediately
+    assert count[0] == 0
+
+
+def test_housekeeping_runs_while_work_pending():
+    q = EventQueue()
+    ticks = []
+
+    def tick(c):
+        ticks.append(c)
+        q.push(c + 10, tick, housekeeping=True)
+
+    q.push(10, tick, housekeeping=True)
+    q.push(35, lambda c: None)  # work event at 35
+    q.run()
+    assert ticks == [10, 20, 30]
+
+
+def test_housekeeping_runs_with_explicit_until():
+    q = EventQueue()
+    ticks = []
+
+    def tick(c):
+        ticks.append(c)
+        q.push(c + 10, tick, housekeeping=True)
+
+    q.push(10, tick, housekeeping=True)
+    q.run(until=45)
+    assert ticks == [10, 20, 30, 40]
+
+
+def test_work_pending_counter():
+    q = EventQueue()
+    q.push(1, lambda c: None)
+    q.push(2, lambda c: None, housekeeping=True)
+    assert q.work_pending == 1
+    q.step()
+    assert q.work_pending == 0
+
+
+def test_max_events_bound():
+    q = EventQueue()
+    for i in range(5):
+        q.push(i + 1, lambda c: None)
+    assert q.run(max_events=3) == 3
+    assert len(q) == 2
+
+
+def test_peek_cycle():
+    q = EventQueue()
+    assert q.peek_cycle() is None
+    q.push(9, lambda c: None)
+    assert q.peek_cycle() == 9
+
+
+def test_step_empty_queue():
+    assert EventQueue().step() is False

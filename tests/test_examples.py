@@ -1,0 +1,67 @@
+"""Every example script must run end-to-end (tiny arguments where possible).
+
+The examples are the repository's public face; this keeps them executable
+as the library evolves.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *argv: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "spec_single_core.py",
+        "multiprogram_speedup.py",
+        "refresh_analysis.py",
+        "custom_workload.py",
+    } <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Baseline (auto-refresh)" in out
+    assert "ROP (64-line SRAM buffer)" in out
+    assert "Fig-9 hit rate" in out
+
+
+def test_spec_single_core():
+    out = run_example("spec_single_core.py", "gobmk", "--instructions", "400000")
+    assert "Fig. 1" in out and "Figs. 7/8/9" in out
+    assert "gobmk" in out
+
+
+def test_multiprogram_speedup():
+    out = run_example("multiprogram_speedup.py", "WL6", "--instructions", "400000")
+    assert "WS Baseline-RP" in out
+    assert "WL6" in out
+
+
+def test_refresh_analysis():
+    out = run_example("refresh_analysis.py", "gobmk", "--instructions", "400000")
+    assert "Table I" in out and "Fig. 2" in out
+    assert "λ@1x" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py", timeout=360)
+    assert "stencil" in out and "pointer chase" in out
+    assert "recovered" in out

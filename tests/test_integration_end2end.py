@@ -1,0 +1,131 @@
+"""End-to-end paper-shape assertions at reduced scale.
+
+These are the repository's acceptance tests: each asserts one qualitative
+claim of the paper's evaluation using real (but shortened) runs. They are
+slower than unit tests (a few seconds each) yet short enough for CI.
+"""
+
+import pytest
+
+from repro import RefreshMode, SystemConfig
+from repro.cpu import run_cores
+from repro.energy import system_energy
+from repro.harness import RunScale
+from repro.stats.metrics import weighted_speedup
+from repro.workloads import mix_profiles, profile
+
+#: single-core shape tests need enough refresh intervals (~140) for the
+#: training phase to amortize; the 4-core tests use shorter traces
+INSTR = 3_000_000
+INSTR_MULTI = 1_500_000
+SEED = 11
+
+
+def single_runs(name, *rop_kwargs_list):
+    cfg = SystemConfig.single_core()
+    mt = profile(name).memory_trace(INSTR, cfg.llc, seed=SEED)
+    base = run_cores([mt], cfg)
+    ideal = run_cores([mt], cfg.with_refresh_mode(RefreshMode.NONE))
+    rops = [run_cores([mt], cfg.with_rop(**kw)) for kw in rop_kwargs_list]
+    return cfg, base, ideal, rops
+
+
+class TestFig1Shape:
+    def test_refresh_costs_performance_for_intensive(self):
+        _, base, ideal, _ = single_runs("lbm")
+        degradation = ideal.ipc / base.ipc - 1
+        assert 0.01 < degradation < 0.12  # paper: up to 7.3 %
+
+    def test_refresh_barely_hurts_non_intensive(self):
+        _, base, ideal, _ = single_runs("gobmk")
+        assert ideal.ipc / base.ipc - 1 < 0.01
+
+    def test_refresh_costs_energy(self):
+        cfg, base, ideal, _ = single_runs("gobmk")
+        e_base = system_energy(base.stats, cfg)
+        e_ideal = system_energy(
+            ideal.stats, cfg.with_refresh_mode(RefreshMode.NONE)
+        )
+        overhead = e_base.total / e_ideal.total - 1
+        assert 0.05 < overhead < 0.60  # paper: avg 26.5 %, up to 41.6 %
+
+
+class TestFig7Shape:
+    def test_rop_recovers_most_refresh_loss_for_stream(self):
+        _, base, ideal, (rop,) = single_runs("lbm", dict(training_refreshes=10))
+        gap = ideal.ipc - base.ipc
+        recovered = (rop.ipc - base.ipc) / gap
+        assert recovered > 0.5
+
+    def test_rop_never_hurts_materially(self):
+        for name in ("gcc", "omnetpp"):
+            _, base, _, (rop,) = single_runs(name, dict(training_refreshes=10))
+            assert rop.ipc / base.ipc > 0.99
+
+
+class TestFig9Shape:
+    def test_hit_rate_above_threshold_for_stream(self):
+        _, _, _, (rop,) = single_runs("lbm", dict(training_refreshes=10))
+        assert rop.rop_summary["armed_hit_rate"] > 0.6
+
+    def test_hit_rate_grows_with_buffer(self):
+        _, _, _, rops = single_runs(
+            "libquantum",
+            dict(training_refreshes=10, sram_lines=16, adaptive_depth=False),
+            dict(training_refreshes=10, sram_lines=128, adaptive_depth=False),
+        )
+        small, large = (r.rop_summary["armed_hit_rate"] for r in rops)
+        assert large >= small
+
+
+class TestFig8Shape:
+    def test_rop_energy_not_worse(self):
+        # at short scale the background savings and prefetch read energy
+        # nearly cancel; at paper scale ROP saves energy (EXPERIMENTS.md).
+        # Here we assert the overhead is bounded.
+        cfg, base, _, (rop,) = single_runs("lbm", dict(training_refreshes=10))
+        e_base = system_energy(base.stats, cfg)
+        e_rop = system_energy(rop.stats, cfg.with_rop())
+        assert e_rop.total < e_base.total * 1.02
+
+
+class TestFig10Shape:
+    @pytest.fixture(scope="class")
+    def wl_runs(self):
+        from repro import LlcConfig
+
+        share = LlcConfig(size_bytes=1 * 1024 * 1024)
+        profiles = mix_profiles("WL1")
+        traces = [p.memory_trace(INSTR_MULTI, share, seed=SEED) for p in profiles]
+        base_cfg = SystemConfig.quad_core(rank_partitioned=False)
+        alone = [run_cores([t], base_cfg).ipc for t in traces]
+
+        def ws(cfg):
+            return weighted_speedup(run_cores(traces, cfg).ipcs, alone)
+
+        return {
+            "Baseline": ws(base_cfg),
+            "RP": ws(SystemConfig.quad_core()),
+            "ROP": ws(SystemConfig.quad_core().with_rop(training_refreshes=10)),
+        }
+
+    def test_rank_partitioning_wins(self, wl_runs):
+        assert wl_runs["RP"] > wl_runs["Baseline"] * 1.05
+
+    def test_rop_at_least_matches_rp(self, wl_runs):
+        assert wl_runs["ROP"] > wl_runs["RP"] * 0.98
+
+    def test_rop_beats_baseline_clearly(self, wl_runs):
+        # paper: up to 1.8X, geomean 1.29X vs Baseline
+        assert wl_runs["ROP"] > wl_runs["Baseline"] * 1.1
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        def once():
+            cfg = SystemConfig.single_core().with_rop(training_refreshes=10)
+            mt = profile("bwaves").memory_trace(400_000, cfg.llc, seed=3)
+            r = run_cores([mt], cfg)
+            return (r.ipc, r.stats.sram_hits_in_lock, r.stats.refreshes)
+
+        assert once() == once()

@@ -1,0 +1,86 @@
+"""Whole-system property tests: randomized workloads must satisfy every
+physical invariant of the memory model (see repro.stats.invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RefreshMode, SystemConfig
+from repro.dram import MemorySystem
+from repro.stats.invariants import InvariantViolation, RequestLog, check_run
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 1 << 20),  # line
+        st.integers(1, 60),  # inter-arrival gap (cycles)
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def replay(cfg, workload):
+    ms = MemorySystem(cfg, record_events=True)
+    log = RequestLog()
+    log.attach(ms)
+    cycle = 0
+    for line, gap, is_write in workload:
+        cycle += gap
+        if is_write:
+            ms.schedule_write(line, cycle)
+        else:
+            ms.schedule_read(line, cycle)
+    ms.run()
+    ms.finish()
+    return ms, log
+
+
+@given(workload=workload_strategy)
+@settings(max_examples=40, deadline=None)
+def test_baseline_invariants(workload):
+    ms, log = replay(SystemConfig.single_core(), workload)
+    check_run(log, ms)
+
+
+@given(workload=workload_strategy)
+@settings(max_examples=25, deadline=None)
+def test_rop_invariants(workload):
+    cfg = SystemConfig.single_core().with_rop(training_refreshes=3)
+    ms, log = replay(cfg, workload)
+    check_run(log, ms)
+
+
+@given(workload=workload_strategy)
+@settings(max_examples=15, deadline=None)
+def test_multirank_invariants(workload):
+    ms, log = replay(SystemConfig.quad_core(), workload)
+    check_run(log, ms)
+
+
+@given(
+    workload=workload_strategy,
+    mode=st.sampled_from(
+        [RefreshMode.FGR_2X, RefreshMode.PER_BANK, RefreshMode.PAUSING, RefreshMode.ELASTIC]
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_alt_refresh_mode_invariants(workload, mode):
+    cfg = SystemConfig.single_core().with_refresh_mode(mode)
+    ms, log = replay(cfg, workload)
+    # refresh-rate bookkeeping differs per mode; physical invariants only
+    check_run(log, ms, check_refresh=False)
+
+
+def test_violation_detected():
+    """The checker itself must catch a fabricated violation."""
+    ms, log = replay(SystemConfig.single_core(), [(0, 5, False)])
+    log.requests[0].complete_cycle = log.requests[0].arrival - 1
+    with pytest.raises(InvariantViolation):
+        check_run(log, ms)
+
+
+def test_read_never_completed_detected():
+    ms, log = replay(SystemConfig.single_core(), [(0, 5, False)])
+    log.requests[0].complete_cycle = -1
+    with pytest.raises(InvariantViolation):
+        check_run(log, ms)

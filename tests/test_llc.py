@@ -1,0 +1,178 @@
+"""Unit + property tests for the last-level cache filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LlcConfig
+from repro.cpu.llc import Llc, filter_trace
+from repro.workloads.trace import AccessTrace
+
+SMALL = LlcConfig(size_bytes=16 * 1024, ways=4)  # 64 sets
+
+
+def trace_of(lines, writes=None, gaps=None):
+    n = len(lines)
+    return AccessTrace.from_lists(
+        gaps if gaps is not None else [1] * n,
+        lines,
+        writes if writes is not None else [False] * n,
+    )
+
+
+class TestLlcObject:
+    def test_first_access_misses(self):
+        c = Llc(SMALL)
+        miss, victim = c.access(5, False)
+        assert miss and victim is None
+
+    def test_second_access_hits(self):
+        c = Llc(SMALL)
+        c.access(5, False)
+        miss, _ = c.access(5, False)
+        assert not miss
+
+    def test_lru_eviction_order(self):
+        c = Llc(SMALL)
+        nsets = c.num_sets
+        lines = [i * nsets for i in range(SMALL.ways + 1)]  # all map to set 0
+        for l in lines[:-1]:
+            c.access(l, False)
+        c.access(lines[0], False)  # touch to make MRU
+        miss, victim = c.access(lines[-1], False)
+        assert miss
+        # victim is the least recently used = lines[1] (clean → no WB line)
+        assert victim is None
+        assert not c.contains(lines[1])
+        assert c.contains(lines[0])
+
+    def test_dirty_eviction_returns_victim(self):
+        c = Llc(SMALL)
+        nsets = c.num_sets
+        lines = [i * nsets for i in range(SMALL.ways + 1)]
+        c.access(lines[0], True)  # dirty
+        for l in lines[1:-1]:
+            c.access(l, False)
+        miss, victim = c.access(lines[-1], False)
+        assert victim == lines[0]
+
+    def test_write_hit_dirties(self):
+        c = Llc(SMALL)
+        nsets = c.num_sets
+        c.access(0, False)
+        c.access(0, True)  # dirty via write hit
+        for i in range(1, SMALL.ways + 1):
+            _, victim = c.access(i * nsets, False)
+        assert victim == 0
+
+    def test_occupancy(self):
+        c = Llc(SMALL)
+        for i in range(10):
+            c.access(i, False)
+        assert c.occupancy == 10
+
+
+class TestFilterTrace:
+    def test_all_misses_pass_through(self):
+        tr = trace_of(list(range(100)))
+        res = filter_trace(tr, SMALL)
+        assert res.misses == 100
+        assert len(res.memory_trace) == 100
+        assert res.miss_rate == 1.0
+
+    def test_hits_filtered_out(self):
+        tr = trace_of([1, 2, 3, 1, 2, 3, 1, 2, 3])
+        res = filter_trace(tr, SMALL)
+        assert res.misses == 3
+        assert len(res.memory_trace) == 3
+
+    def test_gaps_accumulate_across_hits(self):
+        tr = trace_of([1, 1, 1, 2], gaps=[10, 20, 30, 40])
+        res = filter_trace(tr, SMALL)
+        mt = res.memory_trace
+        assert list(mt.gaps) == [10, 90]
+        assert mt.total_instructions == tr.total_instructions
+
+    def test_store_miss_fetches_line(self):
+        # write-allocate: a store miss appears as a memory *read*
+        tr = trace_of([7], writes=[True])
+        mt = filter_trace(tr, SMALL).memory_trace
+        assert len(mt) == 1 and not mt.writes[0]
+
+    def test_writeback_emitted_on_dirty_eviction(self):
+        nsets = SMALL.sets
+        lines = [i * nsets for i in range(SMALL.ways + 1)]
+        writes = [True] + [False] * SMALL.ways
+        res = filter_trace(trace_of(lines, writes=writes), SMALL)
+        assert res.writebacks == 1
+        mt = res.memory_trace
+        assert int(mt.writes.sum()) == 1
+        wb_idx = int(np.argmax(mt.writes))
+        assert mt.lines[wb_idx] == lines[0]
+        assert mt.gaps[wb_idx] == 0  # write-backs carry no program progress
+
+    def test_tail_instructions_preserved(self):
+        tr = AccessTrace.from_lists([5], [1], [False], tail_instructions=100)
+        mt = filter_trace(tr, SMALL).memory_trace
+        assert mt.tail_instructions == 100
+
+    def test_larger_cache_fewer_misses(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 2048, size=5000)
+        tr = trace_of(lines.tolist())
+        small = filter_trace(tr, LlcConfig(size_bytes=16 * 1024, ways=4))
+        big = filter_trace(tr, LlcConfig(size_bytes=256 * 1024, ways=4))
+        assert big.misses < small.misses
+
+    def test_working_set_fits_no_capacity_misses(self):
+        # 64 distinct lines fit a 16 KB cache: repeat passes all hit
+        lines = list(range(64)) * 10
+        res = filter_trace(trace_of(lines), SMALL)
+        assert res.misses == 64
+
+
+# ---------------------------------------------------------------- properties
+
+
+@given(
+    lines=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+    writes_seed=st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_filter_matches_reference_model(lines, writes_seed):
+    """The streaming filter agrees with a straightforward reference LLC."""
+    rng = np.random.default_rng(writes_seed)
+    writes = rng.random(len(lines)) < 0.3
+    tr = trace_of(lines, writes=writes.tolist())
+    cfg = LlcConfig(size_bytes=4 * 1024, ways=2)  # 32 sets: evictions likely
+    res = filter_trace(tr, cfg)
+
+    # reference: explicit LRU lists
+    nsets = cfg.sets
+    sets = {s: [] for s in range(nsets)}  # list of [line, dirty], LRU first
+    expected = []  # (line, is_write)
+    for line, wr in zip(lines, writes):
+        s = sets[line % nsets]
+        entry = next((e for e in s if e[0] == line), None)
+        if entry:
+            s.remove(entry)
+            entry[1] = entry[1] or wr
+            s.append(entry)
+            continue
+        expected.append((line, False))
+        if len(s) >= cfg.ways:
+            victim = s.pop(0)
+            if victim[1]:
+                expected.append((victim[0], True))
+        s.append([line, wr])
+
+    got = list(zip(res.memory_trace.lines.tolist(), res.memory_trace.writes.tolist()))
+    assert got == expected
+
+
+@given(lines=st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_instruction_conservation(lines):
+    tr = trace_of(lines, gaps=[3] * len(lines))
+    res = filter_trace(tr, SMALL)
+    assert res.memory_trace.total_instructions == tr.total_instructions

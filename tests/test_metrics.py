@@ -1,0 +1,60 @@
+"""Unit tests for performance metrics."""
+
+import pytest
+
+from repro.stats.metrics import (
+    geomean,
+    normalize,
+    percent_change,
+    speedup,
+    weighted_speedup,
+)
+
+
+def test_weighted_speedup_no_interference():
+    assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_weighted_speedup_half_speed():
+    assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+
+def test_weighted_speedup_mismatch():
+    with pytest.raises(ValueError):
+        weighted_speedup([1.0], [1.0, 2.0])
+
+
+def test_weighted_speedup_zero_alone():
+    with pytest.raises(ValueError):
+        weighted_speedup([1.0], [0.0])
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_geomean_validation():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -2.0])
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+    with pytest.raises(ValueError):
+        normalize([1.0], 0.0)
+
+
+def test_percent_change():
+    assert percent_change(1.1, 1.0) == pytest.approx(10.0)
+    assert percent_change(0.9, 1.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_change(1.0, 0.0)
+
+
+def test_speedup():
+    assert speedup(2.0, 1.0) == 2.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)

@@ -1,0 +1,85 @@
+"""Unit tests for the probabilistic prefetch throttle and candidate
+generation."""
+
+import numpy as np
+import pytest
+
+from repro import AddressMapScheme, MemoryOrganization, RopConfig
+from repro.core.prediction_table import PredictionTable
+from repro.core.prefetcher import Prefetcher
+from repro.core.profiler import LambdaBeta
+from repro.dram.address_mapping import AddressMapper
+from repro.rng import make_rng
+
+
+def make(probabilistic=True, sram_lines=64, seed=1):
+    cfg = RopConfig(enabled=True, probabilistic=probabilistic, sram_lines=sram_lines)
+    return Prefetcher(cfg, make_rng(seed))
+
+
+def rate(prefetcher, b_count, lam, beta, n=4000):
+    lb = LambdaBeta(lam, beta)
+    return sum(prefetcher.decide(b_count, lb) for _ in range(n)) / n
+
+
+def test_lambda_controls_go_rate_when_busy():
+    # B>0 → prefetch with probability λ
+    assert rate(make(), 5, 0.8, 0.5) == pytest.approx(0.8, abs=0.03)
+    assert rate(make(), 5, 0.2, 0.5) == pytest.approx(0.2, abs=0.03)
+
+
+def test_beta_controls_skip_rate_when_idle():
+    # B=0 → skip with probability β
+    assert rate(make(), 0, 0.5, 0.9) == pytest.approx(0.1, abs=0.03)
+    assert rate(make(), 0, 0.5, 0.1) == pytest.approx(0.9, abs=0.03)
+
+
+def test_no_profile_means_no_prefetch():
+    p = make()
+    assert not p.decide(10, None)
+    assert not p.decide(0, None)
+
+
+def test_deterministic_given_seed():
+    a = [make(seed=7).decide(3, LambdaBeta(0.5, 0.5)) for _ in range(1)]
+    b = [make(seed=7).decide(3, LambdaBeta(0.5, 0.5)) for _ in range(1)]
+    assert a == b
+
+
+def test_non_probabilistic_mode():
+    p = make(probabilistic=False)
+    assert p.decide(1, None)  # any window traffic → go, even unprofiled
+    assert not p.decide(0, LambdaBeta(1.0, 0.0))
+
+
+def test_decision_counters():
+    p = make(probabilistic=False)
+    p.decide(1, None)
+    p.decide(0, None)
+    assert (p.decisions_go, p.decisions_skip) == (1, 1)
+
+
+def test_candidate_lines_translate_offsets():
+    org = MemoryOrganization(ranks=2)
+    mapper = AddressMapper(org, AddressMapScheme.BANK_LOCALITY)
+    table = PredictionTable(org.banks, org.lines_per_bank)
+    # feed bank 3 a stream
+    addr = 5000
+    for _ in range(20):
+        addr += 1
+        table.update(3, addr)
+    p = make(sram_lines=8)
+    lines = p.candidate_lines(table, mapper, channel=0, rank=1)
+    assert len(lines) == 8
+    for line in lines:
+        c = mapper.decode(line)
+        assert (c.channel, c.rank, c.bank) == (0, 1, 3)
+    offsets = [mapper.decode(l).row * org.columns + mapper.decode(l).col for l in lines]
+    assert offsets == list(range(addr + 1, addr + 9))
+
+
+def test_candidate_lines_empty_table():
+    org = MemoryOrganization()
+    mapper = AddressMapper(org, AddressMapScheme.BANK_LOCALITY)
+    table = PredictionTable(org.banks, org.lines_per_bank)
+    assert make().candidate_lines(table, mapper, 0, 0) == []

@@ -1,0 +1,183 @@
+"""Unit + property tests for the Pattern Profiler (λ/β computation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiler import CategoryCounts, PatternProfiler
+
+W = 100
+
+
+def make():
+    return PatternProfiler(window=W)
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        PatternProfiler(window=0)
+
+
+def test_b_pos_a_pos():
+    p = make()
+    p.on_request(50, True)  # inside B-window of refresh at 100
+    p.on_refresh(100)
+    p.on_request(150, True)  # inside A-window
+    p.advance(300)
+    assert p.counts.b_pos_a_pos == 1
+
+
+def test_b_pos_a_zero():
+    p = make()
+    p.on_request(50, True)
+    p.on_refresh(100)
+    p.advance(300)
+    assert p.counts.b_pos_a_zero == 1
+
+
+def test_b_zero_a_pos():
+    p = make()
+    p.on_refresh(100)
+    p.on_request(150, True)
+    p.advance(300)
+    assert p.counts.b_zero_a_pos == 1
+
+
+def test_b_zero_a_zero():
+    p = make()
+    p.on_refresh(100)
+    p.advance(300)
+    assert p.counts.b_zero_a_zero == 1
+
+
+def test_writes_count_for_b_not_a():
+    p = make()
+    p.on_request(50, False)  # a write before the refresh
+    p.on_refresh(100)
+    p.on_request(150, False)  # a write after: must NOT count as A
+    p.advance(300)
+    assert p.counts.b_pos_a_zero == 1
+
+
+def test_window_boundaries():
+    # the B-window is closed-open: [T − W, T)
+    p = make()
+    p.on_request(0, True)  # exactly W before: included (closed low end)
+    p.on_refresh(100)
+    p.advance(300)
+    assert p.counts.b_pos_a_zero == 1
+
+    p2 = make()
+    p2.on_refresh(100)
+    p2.on_request(100, True)  # at the refresh instant: belongs to A, not B
+    p2.advance(300)
+    # arrival at T counts toward A (the window after), not B
+    assert p2.counts.b_zero_a_pos == 1
+
+
+def test_a_window_is_half_open():
+    p = make()
+    p.on_refresh(100)
+    p.on_request(199, True)  # last cycle inside [100, 200)
+    p.advance(400)
+    assert p.counts.b_zero_a_pos == 1
+
+    p2 = make()
+    p2.on_refresh(100)
+    p2.advance(200)  # deadline reached: record already closed
+    p2.on_request(200, True)
+    p2.advance(400)
+    assert p2.counts.b_zero_a_zero == 1
+
+
+def test_lambda_beta_computation():
+    p = make()
+    # 2× (B>0, A>0); 1× (B>0, A=0); 1× (B=0, A=0)
+    for t0 in (1000, 2000):
+        p.on_request(t0 - 10, True)
+        p.on_refresh(t0)
+        p.on_request(t0 + 10, True)
+    p.on_request(2990, True)
+    p.on_refresh(3000)
+    p.on_refresh(5000)
+    p.finalize(6000)
+    lb = p.lambda_beta()
+    assert lb.lam == pytest.approx(2 / 3)
+    assert lb.beta == pytest.approx(1.0)
+
+
+def test_lambda_beta_defaults_when_undefined():
+    p = make()
+    lb = p.lambda_beta()
+    assert lb.lam == 1.0 and lb.beta == 1.0
+
+
+def test_overlapping_a_windows():
+    p = PatternProfiler(window=1000)
+    p.on_refresh(100)
+    p.on_refresh(600)  # A-windows overlap
+    p.on_request(700, True)  # inside both
+    p.finalize(5000)
+    assert p.counts.b_zero_a_pos + p.counts.b_pos_a_pos == 2
+
+
+def test_count_in_window_prunes_old():
+    p = make()
+    p.on_request(10, True)
+    p.on_request(500, True)
+    assert p.count_in_window(550) == 1  # the request at 10 was pruned
+
+
+def test_reset_clears_counts_keeps_nothing_pending():
+    p = make()
+    p.on_request(50, True)
+    p.on_refresh(100)
+    p.reset()
+    p.advance(1000)
+    assert p.counts.total == 0
+
+
+def test_dominant_fraction():
+    c = CategoryCounts(b_pos_a_pos=6, b_pos_a_zero=1, b_zero_a_pos=1, b_zero_a_zero=2)
+    assert c.total == 10
+    assert c.dominant_fraction == pytest.approx(0.8)
+
+
+def test_dominant_fraction_empty():
+    assert CategoryCounts().dominant_fraction == 0.0
+
+
+# ---------------------------------------------------------------- properties
+
+
+@given(
+    req_times=st.lists(st.integers(0, 5000), max_size=60),
+    refresh_times=st.lists(st.integers(100, 4000), min_size=1, max_size=8, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_profiler_matches_bruteforce(req_times, refresh_times):
+    """The streaming profiler agrees with a brute-force recount."""
+    req_times = sorted(req_times)
+    refresh_times = sorted(refresh_times)
+    p = PatternProfiler(window=W)
+    events = [(t, "req") for t in req_times] + [(t, "ref") for t in refresh_times]
+    events.sort(key=lambda e: (e[0], e[1] == "req"))  # refresh first on ties
+    for t, kind in events:
+        if kind == "req":
+            p.on_request(t, True)
+        else:
+            p.on_refresh(t)
+    p.finalize(10_000)
+
+    expect = CategoryCounts()
+    for rt in refresh_times:
+        b = sum(1 for t in req_times if rt - W <= t < rt)
+        a = sum(1 for t in req_times if rt <= t < rt + W)
+        if b and a:
+            expect.b_pos_a_pos += 1
+        elif b:
+            expect.b_pos_a_zero += 1
+        elif a:
+            expect.b_zero_a_pos += 1
+        else:
+            expect.b_zero_a_zero += 1
+    assert p.counts == expect

@@ -1,0 +1,102 @@
+"""Unit tests for rank-level gating (tRRD, tFAW, tWTR) and refresh locks."""
+
+import pytest
+
+from repro.dram.rank import Rank
+from repro.dram.request import ServiceKind
+from repro.dram.timings import DDR4_1600 as T
+
+
+@pytest.fixture
+def rank():
+    return Rank(num_banks=8)
+
+
+def _commit(rank, now, bank, row, is_write=False):
+    plan = rank.plan(now, bank, row, is_write, T)
+    rank.commit(plan, bank, row, is_write, T)
+    return plan
+
+
+def test_rrd_spacing_between_banks(rank):
+    p1 = _commit(rank, 0, 0, 1)
+    p2 = rank.plan(0, 1, 1, False, T)
+    assert p2.act_cycle >= p1.act_cycle + T.rrd
+
+
+def test_faw_limits_four_activates(rank):
+    plans = [_commit(rank, 0, b, 1) for b in range(5)]
+    acts = [p.act_cycle for p in plans]
+    # the fifth ACT must wait for the rolling four-activate window
+    assert acts[4] >= acts[0] + T.faw
+
+
+def test_wtr_gates_following_read(rank):
+    pw = _commit(rank, 0, 0, 1, is_write=True)
+    pr = rank.plan(pw.col_cycle + T.ccd, 1, 1, False, T)
+    # read column command must respect write-to-read turnaround
+    assert pr.col_cycle >= pw.col_cycle + T.cwl + T.burst + T.wtr
+
+
+def test_write_not_gated_by_wtr(rank):
+    pw = _commit(rank, 0, 0, 1, is_write=True)
+    pw2 = rank.plan(pw.col_cycle + T.ccd, 1, 1, True, T)
+    assert pw2.col_cycle < pw.col_cycle + T.cwl + T.burst + T.wtr
+
+
+def test_refresh_locks_all_banks(rank):
+    start, end = rank.start_refresh(1000, T)
+    assert start == 1000 and end == 1000 + T.rfc
+    assert rank.is_locked(1000)
+    assert rank.is_locked(end - 1)
+    assert not rank.is_locked(end)
+    for b in rank.banks:
+        assert b.open_row is None
+        assert b.ready_at >= end
+
+
+def test_lock_window_has_physical_start(rank):
+    rank.start_refresh(1000, T)
+    # cycles before the REF begins are NOT locked
+    assert not rank.is_locked(999)
+    assert rank.lock_start == 1000
+
+
+def test_refresh_waits_for_quiesce(rank):
+    p = _commit(rank, 0, 0, 5)
+    start, end = rank.start_refresh(1, T)
+    assert start >= p.act_cycle + T.ras  # cannot cut the row cycle short
+
+
+def test_per_bank_refresh_leaves_others_usable(rank):
+    start, end = rank.start_refresh(100, T, banks=[2])
+    assert rank.banks[2].ready_at >= end
+    # other banks untouched, rank-level lock not set
+    assert rank.banks[3].ready_at < end
+    assert not rank.is_locked(start)
+
+
+def test_back_to_back_refreshes_extend_lock(rank):
+    s1, e1 = rank.start_refresh(100, T)
+    s2, e2 = rank.start_refresh(e1, T)
+    assert s2 == e1
+    assert rank.lock_start == 100  # one merged window
+    assert rank.locked_until == e2
+
+
+def test_refresh_counts(rank):
+    rank.start_refresh(0, T)
+    rank.start_refresh(10000, T)
+    assert rank.refresh_count == 2
+
+
+def test_plan_after_lock_starts_at_unlock(rank):
+    _, end = rank.start_refresh(0, T)
+    plan = rank.plan(10, 0, 1, False, T)
+    assert plan.act_cycle >= end
+
+
+def test_act_count_tracks_activates(rank):
+    _commit(rank, 0, 0, 1)
+    _commit(rank, 1000, 0, 1)  # row hit: no new ACT
+    assert rank.act_count == 1

@@ -1,0 +1,90 @@
+"""Unit tests for refresh scheduling policies."""
+
+import pytest
+
+from repro import MemoryOrganization, RefreshConfig, RefreshMode
+from repro.dram.refresh import RefreshManager
+from repro.dram.timings import DDR4_1600 as T
+
+
+def make(mode=RefreshMode.AUTO_1X, ranks=4, stagger=True, postpone_max=8):
+    org = MemoryOrganization(ranks=ranks)
+    cfg = RefreshConfig(mode=mode, stagger=stagger, postpone_max=postpone_max)
+    return RefreshManager(cfg, T, org)
+
+
+def test_auto_always_issues_one():
+    mgr = make()
+    for pending in (0, 5, 100):
+        assert mgr.decide(0, 0, 10_000, pending) == 1
+
+
+def test_none_mode_disabled():
+    mgr = make(mode=RefreshMode.NONE)
+    assert not mgr.enabled
+
+
+def test_staggered_first_ticks():
+    mgr = make(ranks=4)
+    ticks = [mgr.first_tick(0, r) for r in range(4)]
+    assert ticks[0] == T.refi
+    diffs = [ticks[i + 1] - ticks[i] for i in range(3)]
+    assert all(d == T.refi // 4 for d in diffs)
+
+
+def test_unstaggered_first_ticks_coincide():
+    mgr = make(ranks=4, stagger=False)
+    assert len({mgr.first_tick(0, r) for r in range(4)}) == 1
+
+
+def test_single_rank_stagger_noop():
+    mgr = make(ranks=1)
+    assert mgr.first_tick(0, 0) == T.refi
+
+
+def test_elastic_postpones_under_demand():
+    mgr = make(mode=RefreshMode.ELASTIC)
+    assert mgr.decide(0, 0, T.refi, pending_demand=3) == 0
+    assert mgr.owed(0, 0) == 1
+
+
+def test_elastic_repays_debt_when_idle():
+    mgr = make(mode=RefreshMode.ELASTIC)
+    for _ in range(3):
+        assert mgr.decide(0, 0, 0, pending_demand=1) == 0
+    assert mgr.decide(0, 0, 0, pending_demand=0) == 4  # 3 owed + this tick
+    assert mgr.owed(0, 0) == 0
+
+
+def test_elastic_forced_at_postpone_cap():
+    mgr = make(mode=RefreshMode.ELASTIC, postpone_max=4)
+    issued = []
+    for _ in range(6):
+        issued.append(mgr.decide(0, 0, 0, pending_demand=10))
+    # debt is capped: after 3 postponements the 4th tick must issue all 4
+    assert issued[:3] == [0, 0, 0]
+    assert issued[3] == 4
+
+
+def test_elastic_debt_is_per_rank():
+    mgr = make(mode=RefreshMode.ELASTIC)
+    mgr.decide(0, 0, 0, pending_demand=1)
+    assert mgr.owed(0, 0) == 1
+    assert mgr.owed(0, 1) == 0
+
+
+def test_per_bank_round_robin():
+    mgr = make(mode=RefreshMode.PER_BANK)
+    org_banks = 8
+    seen = [mgr.banks_for(0, 0) for _ in range(org_banks * 2)]
+    assert [b[0] for b in seen[:8]] == list(range(8))
+    assert [b[0] for b in seen[8:]] == list(range(8))
+
+
+def test_all_bank_modes_return_none():
+    for mode in (RefreshMode.AUTO_1X, RefreshMode.ELASTIC):
+        assert make(mode=mode).banks_for(0, 0) is None
+
+
+def test_period_matches_timings():
+    assert make().period == T.refi

@@ -1,0 +1,64 @@
+"""Unit tests for the text reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.harness.reporting import format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "long_header"], [["x", "1"], ["yyyy", "22"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    # every row fits within the same formatted width structure
+    assert "long_header" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_format_table_coerces_cells():
+    out = format_table(["n"], [[42], [3.5]])
+    assert "42" in out and "3.5" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["h1", "h2"], [])
+    assert out.splitlines()[0].startswith("h1")
+
+
+def test_render_fig1_includes_average():
+    from repro.harness.reporting import render_fig1
+
+    rows = [
+        {
+            "benchmark": "x",
+            "ipc_baseline": 1.0,
+            "ipc_norefresh": 1.05,
+            "perf_degradation_pct": 5.0,
+            "energy_overhead_pct": 20.0,
+        }
+    ]
+    out = render_fig1(rows)
+    assert "AVERAGE" in out and "5.00%" in out
+
+
+def test_render_fig10_geomean():
+    from repro.harness.reporting import render_fig10_11
+
+    rows = [
+        {
+            "mix": "WLx",
+            "norm_ws": {"Baseline": 1.0, "ROP": 1.2},
+            "norm_energy": {"Baseline": 1.0, "ROP": 0.9},
+        },
+        {
+            "mix": "WLy",
+            "norm_ws": {"Baseline": 1.0, "ROP": 1.05},
+            "norm_energy": {"Baseline": 1.0, "ROP": 0.95},
+        },
+    ]
+    out = render_fig10_11(rows)
+    assert "GEOMEAN" in out
+    gm = math.sqrt(1.2 * 1.05)
+    assert f"{gm:.3f}" in out

@@ -1,0 +1,186 @@
+"""Integration tests for the ROP engine wired into a memory controller."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.core.state_machine import RopState
+from repro.dram import MemorySystem
+
+
+def streaming_system(
+    *, training=5, sram=64, period=20, n=None, rop_kwargs=None
+) -> MemorySystem:
+    """A memory system fed a pure streaming read sequence."""
+    kwargs = dict(training_refreshes=training, sram_lines=sram)
+    kwargs.update(rop_kwargs or {})
+    cfg = SystemConfig.single_core().with_rop(**kwargs)
+    ms = MemorySystem(cfg)
+    t = ms.controller.t
+    # enough traffic to cover training plus 40 operating refreshes, capped
+    # so "never finish training" configurations stay cheap
+    count = n if n is not None else min(training + 40, 100) * t.refi // period
+    for i in range(count):
+        ms.schedule_read(i, i * period)
+    return ms
+
+
+class TestLifecycle:
+    def test_training_then_observing(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        ms.finish()
+        assert ms.rop.state in (RopState.OBSERVING, RopState.PREFETCHING)
+
+    def test_lambda_beta_frozen_after_training(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        lb = ms.rop.lam_beta[(0, 0)]
+        assert lb is not None
+        assert lb.lam > 0.9  # continuous stream: busy windows stay busy
+
+    def test_no_prefetch_during_training(self):
+        ms = streaming_system(training=10**6)  # never leaves training
+        ms.run()
+        assert ms.stats.prefetches == 0
+        assert ms.stats.sram_fills == 0
+
+    def test_prefetches_after_training(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        assert ms.stats.prefetches > 0
+        assert ms.stats.sram_fills > 0
+
+
+class TestService:
+    def test_stream_hits_in_lock(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        st = ms.finish()
+        assert st.sram_hits_in_lock > 0
+        assert st.lock_hit_rate > 0.5
+
+    def test_armed_hit_rate_high_for_stream(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        ms.finish()
+        assert ms.rop.lock_hit_rate() > 0.8
+
+    def test_sram_latency_applied(self):
+        ms = streaming_system(training=5)
+        done = {}
+        t = ms.controller.t
+        # a read that will hit the buffer right after a fill: capture any
+        # SRAM-serviced request's latency through stats instead
+        ms.run()
+        st = ms.finish()
+        assert st.sram_hits > 0
+
+    def test_write_invalidates_buffered_line(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        # force-fill then write to a buffered line
+        ms.rop.buffer.refill((0, 0), [10**6])
+        before = ms.rop.buffer.invalidations
+        ms.submit_write(10**6, ms.now)
+        assert ms.rop.buffer.invalidations == before + 1
+        assert not ms.rop.buffer.lookup(10**6)
+
+    def test_summary_fields(self):
+        ms = streaming_system(training=5)
+        ms.run()
+        ms.finish()
+        s = ms.rop_summary()
+        for key in (
+            "state",
+            "lam_beta",
+            "armed_locks",
+            "armed_hit_rate",
+            "retrains",
+            "buffer_fills",
+            "buffer_hits",
+            "decisions_go",
+        ):
+            assert key in s
+
+
+class TestWindows:
+    def test_next_refresh_due_on_grid(self):
+        ms = streaming_system()
+        t = ms.controller.t
+        eng = ms.rop
+        assert eng.next_refresh_due(0, 0, 0) == t.refi
+        assert eng.next_refresh_due(0, 0, t.refi) == t.refi
+        assert eng.next_refresh_due(0, 0, t.refi + 1) == 2 * t.refi
+
+    def test_full_window_always_observing(self):
+        # window = tREFI means every cycle is within the window
+        ms = streaming_system()
+        eng = ms.rop
+        for cycle in (0, 100, 6239, 6241):
+            assert eng.in_observational_window(0, 0, cycle)
+
+    def test_short_window(self):
+        ms = streaming_system(rop_kwargs=dict(window_mult=0.1))
+        eng = ms.rop
+        t = ms.controller.t
+        w = int(t.refi * 0.1)
+        assert not eng.in_observational_window(0, 0, t.refi - w - 1)
+        assert eng.in_observational_window(0, 0, t.refi - w + 1)
+
+
+class TestGuards:
+    def test_harm_guard_disarms_random_traffic(self):
+        # pseudo-random addresses: predictions are garbage, the utilization
+        # guard must fall back to training and stop burning bandwidth
+        cfg = SystemConfig.single_core().with_rop(
+            training_refreshes=5, min_buffer_utilization=0.25
+        )
+        ms = MemorySystem(cfg)
+        t = ms.controller.t
+        n = 60 * t.refi // 20
+        x = 1
+        for i in range(n):
+            x = (x * 1103515245 + 12345) % (1 << 22)
+            ms.schedule_read(x, i * 20)
+        ms.run()
+        st = ms.finish()
+        # protection can act at two levels: the evidence cap keeps garbage
+        # candidates near zero, and/or the utilization guard retrains.
+        # Either way the bandwidth burned on prefetches must stay trivial.
+        assert (
+            ms.rop.sm.retrain_count >= 1
+            or st.prefetches < st.reads * 0.02
+        )
+
+    def test_pressure_guard_skips_when_saturated(self):
+        cfg = SystemConfig.single_core().with_rop(
+            training_refreshes=5, bus_pressure_limit=0.0  # always "saturated"
+        )
+        ms = MemorySystem(cfg)
+        t = ms.controller.t
+        for i in range(20 * t.refi // 20):
+            ms.schedule_read(i, i * 20)
+        ms.run()
+        ms.finish()
+        assert ms.stats.prefetches == 0
+        assert ms.rop.pressure_skips > 0
+
+    def test_pressure_guard_disabled_at_one(self):
+        ms = streaming_system(rop_kwargs=dict(bus_pressure_limit=1.0))
+        ms.run()
+        assert ms.stats.prefetches > 0
+
+
+class TestAdaptiveDepth:
+    def test_fixed_depth_fills_capacity(self):
+        ms = streaming_system(sram=32, rop_kwargs=dict(adaptive_depth=False))
+        ms.run()
+        st = ms.finish()
+        # per-arming fills reach the full capacity for a strong stream
+        assert st.sram_fills / max(1, ms.rop.prefetcher.decisions_go) > 16
+
+    def test_adaptive_depth_bounded_by_capacity(self):
+        ms = streaming_system(sram=16)
+        ms.run()
+        st = ms.finish()
+        assert st.sram_fills <= 16 * max(1, ms.rop.prefetcher.decisions_go)

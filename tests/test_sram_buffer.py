@@ -1,0 +1,89 @@
+"""Unit tests for the SRAM prefetch buffer."""
+
+import pytest
+
+from repro.core.sram_buffer import SramBuffer
+
+
+def test_capacity_enforced():
+    buf = SramBuffer(4)
+    stored = buf.refill((0, 0), range(10))
+    assert stored == 4
+    assert len(buf) == 4
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        SramBuffer(0)
+
+
+def test_lookup_does_not_count_hit():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1, 2])
+    assert buf.lookup(1)
+    assert buf.hits == 0
+
+
+def test_consume_counts_hit():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1, 2])
+    assert buf.consume(1)
+    assert buf.hits == 1
+
+
+def test_consume_miss():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1])
+    assert not buf.consume(99)
+    assert buf.hits == 0
+
+
+def test_consume_does_not_evict():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1])
+    buf.consume(1)
+    assert buf.lookup(1)  # multiple hits on the same line are allowed
+
+
+def test_refill_flushes_previous_contents():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1, 2])
+    buf.refill((0, 1), [3])
+    assert not buf.lookup(1)
+    assert buf.lookup(3)
+    assert buf.owner == (0, 1)
+
+
+def test_fills_accumulate():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1, 2])
+    buf.refill((0, 0), [3])
+    assert buf.fills == 3
+
+
+def test_invalidate_present():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [5])
+    assert buf.invalidate(5)
+    assert not buf.lookup(5)
+    assert buf.invalidations == 1
+
+
+def test_invalidate_absent_is_noop():
+    buf = SramBuffer(4)
+    assert not buf.invalidate(5)
+    assert buf.invalidations == 0
+
+
+def test_flush():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [1, 2])
+    buf.flush()
+    assert len(buf) == 0
+    assert buf.owner is None
+
+
+def test_contains_dunder():
+    buf = SramBuffer(4)
+    buf.refill((0, 0), [7])
+    assert 7 in buf and 8 not in buf

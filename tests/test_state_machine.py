@@ -1,0 +1,146 @@
+"""Unit tests for the Training/Observing/Prefetching state machine."""
+
+import pytest
+
+from repro.core.state_machine import RopState, RopStateMachine
+
+
+def make(training=5, threshold=0.6, window=4, min_util=0.0, backoff=1):
+    return RopStateMachine(
+        training,
+        threshold,
+        window,
+        min_buffer_utilization=min_util,
+        training_backoff_cap=backoff,
+    )
+
+
+def test_starts_training():
+    assert make().state is RopState.TRAINING
+    assert make().is_training
+
+
+def test_training_completes_after_n_refreshes():
+    sm = make(training=3)
+    assert not sm.on_training_refresh()
+    assert not sm.on_training_refresh()
+    assert sm.on_training_refresh()
+    assert sm.state is RopState.OBSERVING
+
+
+def test_training_refresh_ignored_when_observing():
+    sm = make(training=1)
+    sm.on_training_refresh()
+    assert not sm.on_training_refresh()
+
+
+def test_complete_training_idempotent():
+    sm = make()
+    sm.complete_training()
+    sm.complete_training()
+    assert sm.phases_completed == 1
+
+
+def test_prefetch_transitions():
+    sm = make(training=1)
+    sm.on_training_refresh()
+    sm.begin_prefetch()
+    assert sm.state is RopState.PREFETCHING
+    sm.end_prefetch()
+    assert sm.state is RopState.OBSERVING
+
+
+def test_begin_prefetch_noop_while_training():
+    sm = make()
+    sm.begin_prefetch()
+    assert sm.state is RopState.TRAINING
+
+
+def test_hit_rate_fallback():
+    sm = make(training=1, threshold=0.6, window=4)
+    sm.on_training_refresh()
+    # four informative locks, all misses → hit rate 0 < 0.6
+    triggered = [sm.on_lock_outcome(2, 0) for _ in range(4)]
+    assert triggered[-1]
+    assert sm.state is RopState.TRAINING
+    assert sm.retrain_count == 1
+
+
+def test_good_hit_rate_stays_observing():
+    sm = make(training=1, threshold=0.6, window=4)
+    sm.on_training_refresh()
+    for _ in range(10):
+        assert not sm.on_lock_outcome(4, 4)
+    assert sm.state is RopState.OBSERVING
+
+
+def test_quiet_locks_not_informative():
+    sm = make(training=1, window=2)
+    sm.on_training_refresh()
+    for _ in range(10):
+        assert not sm.on_lock_outcome(0, 0)
+    assert sm.state is RopState.OBSERVING
+
+
+def test_recent_hit_rate():
+    sm = make(training=1, window=4)
+    sm.on_training_refresh()
+    sm.on_lock_outcome(4, 3)
+    assert sm.recent_hit_rate == pytest.approx(0.75)
+
+
+def test_buffer_utilization_guard():
+    sm = make(training=1, window=8, min_util=0.25)
+    sm.on_training_refresh()
+    # util window is half the hit window (min 4): four useless tenures trip
+    results = [sm.on_buffer_outcome(10, 0) for _ in range(4)]
+    assert results[-1]
+    assert sm.state is RopState.TRAINING
+
+
+def test_buffer_guard_disabled_by_default():
+    sm = make(training=1, window=4, min_util=0.0)
+    sm.on_training_refresh()
+    for _ in range(10):
+        assert not sm.on_buffer_outcome(10, 0)
+
+
+def test_good_utilization_survives():
+    sm = make(training=1, window=8, min_util=0.25)
+    sm.on_training_refresh()
+    for _ in range(10):
+        assert not sm.on_buffer_outcome(10, 5)
+    assert sm.state is RopState.OBSERVING
+
+
+def test_backoff_doubles_training():
+    sm = make(training=5, window=4, min_util=0.25, backoff=8)
+    assert sm.effective_training_refreshes == 5
+    sm.complete_training()
+    for _ in range(4):
+        sm.on_buffer_outcome(10, 0)
+    assert sm.effective_training_refreshes == 10
+    sm.complete_training()
+    for _ in range(4):
+        sm.on_buffer_outcome(10, 0)
+    assert sm.effective_training_refreshes == 20
+
+
+def test_backoff_capped():
+    sm = make(training=5, window=4, min_util=0.25, backoff=4)
+    for _ in range(6):
+        sm.complete_training()
+        for _ in range(4):
+            sm.on_buffer_outcome(10, 0)
+    assert sm.effective_training_refreshes == 20  # 5 × cap 4
+
+
+def test_retrain_clears_outcome_windows():
+    sm = make(training=1, threshold=0.6, window=4)
+    sm.on_training_refresh()
+    for _ in range(4):
+        sm.on_lock_outcome(2, 0)  # trips
+    sm.complete_training()
+    # window was cleared: three more bad locks are not yet enough
+    for _ in range(3):
+        assert not sm.on_lock_outcome(2, 0)

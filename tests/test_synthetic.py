@@ -1,0 +1,138 @@
+"""Unit + property tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rng import make_rng
+from repro.workloads.synthetic import PhaseModel, generate_trace, pattern_addresses
+
+
+def model(**kw):
+    defaults = dict(
+        busy_instr=5_000,
+        idle_instr=5_000,
+        access_density=0.2,
+        pattern_frac=0.3,
+        ws_frac=0.3,
+        pattern="stream",
+    )
+    defaults.update(kw)
+    return PhaseModel(**defaults)
+
+
+class TestPatternAddresses:
+    def test_stream(self):
+        lines, cur = pattern_addresses("stream", 5, 100, 1 << 20, make_rng(0))
+        assert list(lines) == [101, 102, 103, 104, 105]
+        assert cur == 105
+
+    def test_stride(self):
+        lines, _ = pattern_addresses("stride", 4, 0, 1 << 20, make_rng(0), stride=7)
+        assert list(lines) == [7, 14, 21, 28]
+
+    def test_multidelta(self):
+        lines, _ = pattern_addresses(
+            "multidelta", 6, 0, 1 << 20, make_rng(0), deltas=(1, 1, 6)
+        )
+        assert list(lines) == [1, 2, 8, 9, 10, 16]
+
+    def test_chase_is_deterministic_per_seed(self):
+        a, _ = pattern_addresses("chase", 10, 0, 1 << 16, make_rng(3))
+        b, _ = pattern_addresses("chase", 10, 0, 1 << 16, make_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_wraps_modulo_space(self):
+        lines, _ = pattern_addresses("stream", 5, (1 << 10) - 3, 1 << 10, make_rng(0))
+        assert all(0 <= l < (1 << 10) for l in lines)
+
+    def test_zero_count(self):
+        lines, cur = pattern_addresses("stream", 0, 42, 1 << 10, make_rng(0))
+        assert len(lines) == 0 and cur == 42
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            pattern_addresses("zigzag", 5, 0, 1 << 10, make_rng(0))
+
+
+class TestPhaseModel:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            model(pattern_frac=0.8, ws_frac=0.4)
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            model(pattern="bogus")
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            model(access_density=0)
+
+
+class TestGenerateTrace:
+    def test_instruction_budget_exact(self):
+        tr = generate_trace(model(), 50_000, seed=1)
+        assert tr.total_instructions == 50_000
+
+    def test_deterministic(self):
+        a = generate_trace(model(), 20_000, seed=5)
+        b = generate_trace(model(), 20_000, seed=5)
+        assert np.array_equal(a.lines, b.lines)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(model(), 20_000, seed=5)
+        b = generate_trace(model(), 20_000, seed=6)
+        assert not np.array_equal(a.lines, b.lines)
+
+    def test_write_fraction_approximate(self):
+        tr = generate_trace(model(write_frac=0.3), 200_000, seed=1)
+        frac = tr.write_count / len(tr)
+        assert frac == pytest.approx(0.3, abs=0.05)
+
+    def test_no_idle_model(self):
+        tr = generate_trace(model(idle_instr=0), 30_000, seed=2)
+        assert tr.total_instructions == 30_000
+
+    def test_address_regions_disjoint(self):
+        m = model(pattern_frac=0.4, ws_frac=0.3, ws_lines=1 << 10, hot_lines=1 << 6)
+        tr = generate_trace(m, 100_000, seed=3)
+        lines = tr.lines
+        pattern = lines < m.cursor_space
+        ws = (lines >= m.cursor_space) & (lines < m.cursor_space + m.ws_lines)
+        hot = lines >= m.cursor_space + m.ws_lines
+        assert pattern.any() and ws.any() and hot.any()
+        assert int(hot.sum()) + int(ws.sum()) + int(pattern.sum()) == len(lines)
+        assert lines[hot].max() < m.cursor_space + m.ws_lines + m.hot_lines
+
+    def test_ws_runs_sequential(self):
+        m = model(pattern_frac=0.0, ws_frac=1.0, ws_run=4, ws_lines=1 << 12)
+        tr = generate_trace(m, 20_000, seed=4)
+        deltas = np.diff(tr.lines)
+        # with pure run-structured ws traffic, most deltas are +1
+        assert (deltas == 1).mean() > 0.5
+
+    def test_burstiness_shapes_gaps(self):
+        bursty = generate_trace(
+            model(busy_instr=2_000, idle_instr=50_000), 500_000, seed=7
+        )
+        smooth = generate_trace(model(idle_instr=0), 500_000, seed=7)
+        assert bursty.gaps.max() > 10 * smooth.gaps.max()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            generate_trace(model(), 0, seed=1)
+
+
+@given(
+    total=st.integers(1_000, 60_000),
+    seed=st.integers(0, 2**32 - 1),
+    density=st.floats(0.05, 0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_budget_and_bounds_property(total, seed, density):
+    m = model(access_density=density)
+    tr = generate_trace(m, total, seed=seed)
+    assert tr.total_instructions == total
+    assert (tr.lines >= 0).all()
+    assert (tr.gaps >= 0).all()

@@ -1,0 +1,102 @@
+"""Unit tests for DDR4 timing parameters (Table III values)."""
+
+import math
+
+import pytest
+
+from repro.dram.timings import DDR4_1600, DDR4_2400, DramTimings
+
+
+def test_ddr4_1600_clock_period():
+    assert DDR4_1600.tck_ns == pytest.approx(1.25)
+
+
+def test_trefi_is_7_8_us():
+    # Table III: tREFI = 7.8 µs → 6240 cycles at 1.25 ns
+    assert DDR4_1600.refi == 6240
+
+
+def test_trfc_is_350_ns():
+    # Table III: tRFC = 350 ns for an 8 Gb device in 1x mode
+    assert DDR4_1600.rfc == 280
+
+
+def test_refresh_duty_cycle():
+    # tRFC / tREFI ≈ 4.5 % of time frozen
+    assert DDR4_1600.refresh_duty_cycle == pytest.approx(280 / 6240)
+
+
+def test_rc_is_ras_plus_rp():
+    assert DDR4_1600.rc == DDR4_1600.ras + DDR4_1600.rp
+
+
+def test_latency_orderings():
+    t = DDR4_1600
+    assert t.read_hit_latency < t.read_closed_latency < t.read_conflict_latency
+
+
+def test_burst_is_four_cycles():
+    # BL8 at double data rate occupies 4 controller cycles
+    assert DDR4_1600.burst == 4
+
+
+def test_cycles_roundtrip():
+    t = DDR4_1600
+    assert t.cycles(350.0) == 280
+    assert t.ns(280) == pytest.approx(350.0)
+
+
+def test_cycles_ceiling():
+    assert DDR4_1600.cycles(1.26) == 2  # just over one period rounds up
+    assert DDR4_1600.cycles(1.25) == 1
+
+
+def test_with_refresh_override():
+    t = DDR4_1600.with_refresh(refi=100, rfc=10)
+    assert (t.refi, t.rfc) == (100, 10)
+    # other fields untouched
+    assert t.cl == DDR4_1600.cl
+
+
+def test_fgr_mode_1_identity():
+    assert DDR4_1600.fine_grained(1) is DDR4_1600
+
+
+def test_fgr_2x_halves_refi():
+    t = DDR4_1600.fine_grained(2)
+    assert t.refi == DDR4_1600.refi // 2
+    # JEDEC 8 Gb: tRFC2 = 260 ns — shrinks sub-linearly
+    assert t.rfc == DDR4_1600.cycles(260.0)
+    assert t.rfc > DDR4_1600.rfc // 2
+
+
+def test_fgr_4x_quarter_refi():
+    t = DDR4_1600.fine_grained(4)
+    assert t.refi == DDR4_1600.refi // 4
+    assert t.rfc == DDR4_1600.cycles(160.0)
+
+
+def test_fgr_invalid_mode():
+    with pytest.raises(ValueError):
+        DDR4_1600.fine_grained(3)
+
+
+def test_fgr_total_lock_time_grows():
+    # fine-grained modes trade more REFs for shorter locks; the *total*
+    # locked time per 64 ms period increases (the paper's FGR discussion)
+    base = DDR4_1600.rfc / DDR4_1600.refi
+    for mode in (2, 4):
+        t = DDR4_1600.fine_grained(mode)
+        assert t.rfc / t.refi > base
+
+
+def test_ddr4_2400_faster_clock():
+    assert DDR4_2400.tck_ns < DDR4_1600.tck_ns
+    # same wall-clock constraints → more cycles per constraint
+    assert DDR4_2400.refi > DDR4_1600.refi
+
+
+def test_write_latency_components():
+    t = DDR4_1600
+    assert t.write_hit_latency == t.cwl + t.burst
+    assert t.cwl < t.cl

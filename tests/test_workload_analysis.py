@@ -1,0 +1,121 @@
+"""Tests for the trace-characterization utilities."""
+
+import numpy as np
+import pytest
+
+from repro import AddressMapScheme, LlcConfig, MemoryOrganization
+from repro.workloads import profile
+from repro.workloads.analysis import (
+    bank_dwells,
+    characterize,
+    delta_predictability,
+)
+from repro.workloads.trace import AccessTrace
+
+
+def trace_of(lines, gap=10, writes=None, tail=0):
+    n = len(lines)
+    return AccessTrace.from_lists(
+        [gap] * n,
+        lines,
+        writes if writes is not None else [False] * n,
+        tail_instructions=tail,
+    )
+
+
+class TestDeltaPredictability:
+    def test_pure_stream_near_one(self):
+        lines = np.arange(1000, dtype=np.int64)
+        assert delta_predictability(lines) > 0.99
+
+    def test_stride_near_one(self):
+        lines = np.arange(0, 7000, 7, dtype=np.int64)
+        assert delta_predictability(lines) > 0.99
+
+    def test_period3_pattern_high(self):
+        deltas = [1, 1, 6] * 300
+        lines = np.cumsum(np.asarray([0] + deltas, dtype=np.int64))
+        assert delta_predictability(lines) > 0.9
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 1 << 30, size=2000).astype(np.int64)
+        assert delta_predictability(lines) < 0.05
+
+    def test_tiny_trace(self):
+        assert delta_predictability(np.asarray([1, 2], dtype=np.int64)) == 0.0
+
+
+class TestBankDwells:
+    def test_single_bank_stream(self):
+        org = MemoryOrganization()
+        lines = np.arange(100, dtype=np.int64)  # within one dwell region
+        d = bank_dwells(lines, org)
+        assert d.tolist() == [100]
+
+    def test_bank_hop(self):
+        org = MemoryOrganization()
+        from repro.dram.address_mapping import AddressMapper
+
+        m = AddressMapper(org, AddressMapScheme.BANK_LOCALITY)
+        dwell = m.bank_dwell_lines
+        lines = np.arange(dwell - 2, dwell + 2, dtype=np.int64)
+        d = bank_dwells(lines, org)
+        assert d.tolist() == [2, 2]
+
+    def test_interleaved_mapping_short_dwells(self):
+        org = MemoryOrganization()
+        lines = np.arange(1024, dtype=np.int64)
+        loc = bank_dwells(lines, org, AddressMapScheme.BANK_LOCALITY)
+        conv = bank_dwells(lines, org, AddressMapScheme.ROW_RANK_BANK_COL)
+        assert loc.mean() > conv.mean()
+
+    def test_empty(self):
+        assert len(bank_dwells(np.empty(0, dtype=np.int64), MemoryOrganization())) == 0
+
+
+class TestCharacterize:
+    def test_mpki(self):
+        tr = trace_of(list(range(100)), gap=10)
+        prof = characterize(tr)
+        assert prof.mpki == pytest.approx(100 / 1000 * 1000)
+
+    def test_write_fraction(self):
+        tr = trace_of(list(range(10)), writes=[True] * 4 + [False] * 6)
+        assert characterize(tr).write_fraction == pytest.approx(0.4)
+
+    def test_continuous_trace_fully_busy(self):
+        tr = trace_of(list(range(5000)), gap=10)
+        prof = characterize(tr, window_instr=1000)
+        assert prof.busy_window_fraction == 1.0
+        assert prof.busy_persistence == 1.0
+
+    def test_bursty_trace_persistences(self):
+        # 1 access, then silence for many windows, repeatedly
+        gaps, lines = [], []
+        for burst in range(20):
+            for i in range(50):
+                gaps.append(10)
+                lines.append(burst * 10_000 + i)
+            gaps.append(100_000)  # long idle
+            lines.append(burst * 10_000 + 999)
+        tr = AccessTrace.from_lists(gaps, lines, [False] * len(lines))
+        prof = characterize(tr, window_instr=10_000)
+        assert prof.busy_window_fraction < 0.5
+        assert prof.quiet_persistence > 0.5
+
+    def test_profiles_match_intensity_class(self):
+        llc = LlcConfig(size_bytes=2 * 1024 * 1024)
+        heavy = characterize(profile("lbm").memory_trace(500_000, llc, seed=1))
+        light = characterize(profile("gobmk").memory_trace(500_000, llc, seed=1))
+        assert heavy.mpki > light.mpki
+        assert heavy.busy_window_fraction > light.busy_window_fraction
+
+    def test_stream_profile_predictable(self):
+        llc = LlcConfig(size_bytes=2 * 1024 * 1024)
+        tr = profile("libquantum").memory_trace(500_000, llc, seed=1)
+        prof = characterize(tr)
+        assert prof.delta_predictability > 0.5
+        # interleaved write-backs chop same-bank runs; the dwell still far
+        # exceeds the ~1 of a uniformly random stream
+        assert prof.mean_bank_dwell > 3
