@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Smoke benchmark for the parallel runner + artifact cache.
+
+Runs the Fig. 7/8/9 sweep at the smoke scale three times —
+
+1. cold, sequential (``jobs=1``, fresh cache dir),
+2. cold, parallel (``jobs=2`` by default, second fresh cache dir),
+3. warm, over run 2's cache (must be 100% cache hits, zero simulations)
+
+— asserts all three produce identical results, and appends a timing
+record to ``BENCH_runner.json`` so successive PRs accumulate a
+performance trajectory.
+
+Usage::
+
+    python scripts/bench_smoke.py [--jobs N] [--out BENCH_runner.json]
+
+Exit code 0 means both correctness assertions held.  Note the ≥2×
+parallel speedup target only materializes on multi-core hosts; the
+recorded ``speedup`` field tracks it either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BENCHMARKS = ("lbm", "libquantum", "bzip2", "gobmk")
+SRAM_SIZES = (16, 64)
+
+
+def run_sweep(jobs: int, cache_dir: str) -> tuple[list[dict], float, "object"]:
+    """One cold/warm fig7/8/9 sweep against ``cache_dir``; returns
+    (rows, wall seconds, runner stats)."""
+    from repro.harness import fig7_8_9_rop_comparison, last_stats, scale_from_env
+    from repro.harness.runner import clear_result_memo
+    from repro.workloads.spec_profiles import clear_trace_cache
+
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    clear_result_memo()
+    clear_trace_cache()
+    scale = scale_from_env("smoke")
+    t0 = time.perf_counter()
+    rows = fig7_8_9_rop_comparison(BENCHMARKS, scale, sram_sizes=SRAM_SIZES, jobs=jobs)
+    return rows, time.perf_counter() - t0, last_stats()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="worker count for the parallel run (default 2)")
+    ap.add_argument("--out", default="BENCH_runner.json",
+                    help="timing-record file (appended to)")
+    args = ap.parse_args()
+    os.environ.setdefault("REPRO_SCALE", "smoke")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        seq_dir = os.path.join(tmp, "seq")
+        par_dir = os.path.join(tmp, "par")
+
+        rows_seq, t_seq, stats_seq = run_sweep(1, seq_dir)
+        print(f"cold jobs=1 : {t_seq:6.2f}s  "
+              f"({stats_seq.executed} simulated, {stats_seq.hits} cached)")
+
+        rows_par, t_par, stats_par = run_sweep(args.jobs, par_dir)
+        print(f"cold jobs={args.jobs} : {t_par:6.2f}s  "
+              f"({stats_par.executed} simulated, {stats_par.hits} cached)")
+
+        assert json.dumps(rows_seq, sort_keys=True) == json.dumps(rows_par, sort_keys=True), \
+            "parallel run diverged from sequential run"
+        print("OK  jobs=1 and parallel results are identical")
+
+        rows_warm, t_warm, stats_warm = run_sweep(1, par_dir)
+        print(f"warm cache  : {t_warm:6.2f}s  "
+              f"({stats_warm.executed} simulated, {stats_warm.hits} cached)")
+        assert stats_warm.executed == 0, "warm cache re-ran simulations"
+        assert stats_warm.hits == stats_warm.unique, "warm cache was not 100% hits"
+        assert json.dumps(rows_warm, sort_keys=True) == json.dumps(rows_seq, sort_keys=True), \
+            "warm-cache results diverged"
+        print("OK  warm cache: 100% hits, identical results")
+
+    record = {
+        "bench": "fig7_8_9_smoke",
+        "benchmarks": list(BENCHMARKS),
+        "sram_sizes": list(SRAM_SIZES),
+        "scale": os.environ.get("REPRO_SCALE", "smoke"),
+        "cpus": os.cpu_count(),
+        "jobs": args.jobs,
+        "unique_runs": stats_seq.unique,
+        "t_sequential_s": round(t_seq, 3),
+        "t_parallel_s": round(t_par, 3),
+        "t_warm_s": round(t_warm, 3),
+        "speedup": round(t_seq / t_par, 3) if t_par > 0 else None,
+        "warm_speedup": round(t_seq / t_warm, 1) if t_warm > 0 else None,
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded → {out} (speedup ×{record['speedup']}, "
+          f"warm ×{record['warm_speedup']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

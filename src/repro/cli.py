@@ -28,11 +28,25 @@ from .harness import (
     fig7_8_9_rop_comparison,
     fig10_11_weighted_speedup,
     fig12_13_14_llc_sensitivity,
+    last_stats,
     reporting,
+    set_cache_enabled,
 )
 from .workloads import SPEC_PROFILES, WORKLOAD_MIXES, profile
 
 __all__ = ["main"]
+
+
+def _runner_opts(args) -> int | None:
+    """Apply --no-cache and return the --jobs value (None → REPRO_JOBS)."""
+    if getattr(args, "no_cache", False):
+        set_cache_enabled(False)
+    return getattr(args, "jobs", None)
+
+
+def _print_runner_stats() -> None:
+    print()
+    print(reporting.render_runner_stats(last_stats()))
 
 
 def _scale(args) -> RunScale:
@@ -61,6 +75,7 @@ def _cmd_info(args) -> int:
 
 def _cmd_compare(args) -> int:
     scale = _scale(args)
+    _runner_opts(args)
     cfg = SystemConfig.single_core()
     for name in args.benchmarks:
         mt = profile(name).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
@@ -86,7 +101,8 @@ def _cmd_compare(args) -> int:
 
 def _cmd_analyze(args) -> int:
     scale = _scale(args)
-    rows = fig2_to_4_and_table1(tuple(args.benchmarks), scale)
+    jobs = _runner_opts(args)
+    rows = fig2_to_4_and_table1(tuple(args.benchmarks), scale, jobs=jobs)
     print(reporting.render_table1(rows))
     print()
     print(reporting.render_fig2(rows))
@@ -94,18 +110,20 @@ def _cmd_analyze(args) -> int:
     print(reporting.render_fig3(rows))
     print()
     print(reporting.render_fig4(rows))
+    _print_runner_stats()
     return 0
 
 
 def _cmd_fig(args) -> int:
     scale = _scale(args)
+    jobs = _runner_opts(args)
     fig = args.figure
     benches = tuple(args.benchmarks) if args.benchmarks else DEFAULT_BENCHMARKS
     mixes = tuple(args.benchmarks) if args.benchmarks else tuple(WORKLOAD_MIXES)
     if fig == "1":
-        print(reporting.render_fig1(fig1_refresh_overheads(benches, scale)))
+        print(reporting.render_fig1(fig1_refresh_overheads(benches, scale, jobs=jobs)))
     elif fig in ("2", "3", "4", "t1"):
-        rows = fig2_to_4_and_table1(benches, scale)
+        rows = fig2_to_4_and_table1(benches, scale, jobs=jobs)
         render = {
             "2": reporting.render_fig2,
             "3": reporting.render_fig3,
@@ -114,13 +132,17 @@ def _cmd_fig(args) -> int:
         }[fig]
         print(render(rows))
     elif fig in ("7", "8", "9"):
-        rows = fig7_8_9_rop_comparison(benches, scale, sram_sizes=(16, 32, 64, 128))
+        rows = fig7_8_9_rop_comparison(
+            benches, scale, sram_sizes=(16, 32, 64, 128), jobs=jobs
+        )
         print(reporting.render_fig7_8_9(rows))
     elif fig in ("10", "11"):
-        print(reporting.render_fig10_11(fig10_11_weighted_speedup(mixes, scale)))
+        print(
+            reporting.render_fig10_11(fig10_11_weighted_speedup(mixes, scale, jobs=jobs))
+        )
     elif fig in ("12", "13", "14"):
         rows = fig12_13_14_llc_sensitivity(
-            mixes, scale, llc_sweep=tuple(m << 20 for m in (1, 2, 4, 8))
+            mixes, scale, llc_sweep=tuple(m << 20 for m in (1, 2, 4, 8)), jobs=jobs
         )
         metric = {"12": "norm_ws", "13": "norm_energy", "14": "rop_armed_hit_rate"}[fig]
         print(reporting.render_llc_sensitivity(rows, metric))
@@ -128,11 +150,13 @@ def _cmd_fig(args) -> int:
         print(f"unknown figure {fig!r}; known: 1 2 3 4 t1 7 8 9 10 11 12 13 14",
               file=sys.stderr)
         return 2
+    _print_runner_stats()
     return 0
 
 
 def _cmd_schemes(args) -> int:
     scale = _scale(args)
+    _runner_opts(args)
     cfg = SystemConfig.single_core()
     modes = [m for m in RefreshMode]
     headers = ["benchmark"] + [m.value for m in modes] + ["rop"]
@@ -192,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--instructions", type=int, default=0,
                         help="override the scale's instruction count")
         sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--jobs", type=int, default=None,
+                        help="parallel simulation workers "
+                             "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache "
+                             "(REPRO_CACHE_DIR) for this invocation")
 
     sp = sub.add_parser("info", help="print configuration summary")
     sp.set_defaults(func=_cmd_info)

@@ -91,22 +91,27 @@ def filter_trace(trace: AccessTrace, cfg: LlcConfig) -> LlcResult:
 
     Misses become memory reads (write-allocate fetches stores too);
     dirty evictions become memory writes with a zero instruction gap.
+
+    The sequential LRU walk only records the misses (gap + line) and
+    the dirty evictions; the miss/write-back interleave — positions,
+    write flags, zero gaps — is assembled afterwards with vectorized
+    NumPy.  The per-access work on the hit path (the common case) is
+    exactly the dict bookkeeping; the miss path does two list appends
+    instead of four.  ``benchmarks/bench_llc_filter.py`` guards this
+    against the naive append-per-access implementation.
     """
     cache = Llc(cfg)
-    num_sets = cache.num_sets
     ways = cache.ways
     sets = cache._sets
-    out_gaps: list[int] = []
-    out_lines: list[int] = []
-    out_writes: list[bool] = []
-    pending = 0
-    # local bindings for the hot loop
+    mask = cache.num_sets - 1
     gaps = trace.gaps.tolist()
     lines = trace.lines.tolist()
     writes = trace.writes.tolist()
-    misses = 0
-    writebacks = 0
-    mask = num_sets - 1
+    miss_gaps: list[int] = []  #: instructions since the previous miss
+    miss_lines: list[int] = []
+    wb_seq: list[int] = []  #: miss sequence number each write-back follows
+    wb_lines: list[int] = []
+    pending = 0
     for gap, line, wr in zip(gaps, lines, writes):
         pending += gap
         s = sets[line & mask]
@@ -114,27 +119,40 @@ def filter_trace(trace: AccessTrace, cfg: LlcConfig) -> LlcResult:
             dirty = s.pop(line)
             s[line] = dirty or wr
             continue
-        misses += 1
-        out_gaps.append(pending)
-        out_lines.append(line)
-        out_writes.append(False)
+        miss_gaps.append(pending)
+        miss_lines.append(line)
         pending = 0
         if len(s) >= ways:
             vline = next(iter(s))
             vdirty = s.pop(vline)
             if vdirty:
-                writebacks += 1
-                out_gaps.append(0)
-                out_lines.append(vline)
-                out_writes.append(True)
+                wb_seq.append(len(miss_gaps) - 1)
+                wb_lines.append(vline)
         s[line] = wr
+    n_miss = len(miss_gaps)
+    n_wb = len(wb_seq)
+    wseq = np.asarray(wb_seq, dtype=np.int64)
+    # interleave: each write-back lands right after the miss that evicted
+    # it, so miss m shifts right by the number of earlier write-backs
+    pos_miss = np.arange(n_miss, dtype=np.int64) + np.searchsorted(
+        wseq, np.arange(n_miss, dtype=np.int64), side="left"
+    )
+    pos_wb = pos_miss[wseq] + 1
+    total = n_miss + n_wb
+    out_gaps = np.zeros(total, dtype=np.int64)
+    out_lines = np.empty(total, dtype=np.int64)
+    out_writes = np.zeros(total, dtype=bool)
+    out_gaps[pos_miss] = np.asarray(miss_gaps, dtype=np.int64)
+    out_lines[pos_miss] = np.asarray(miss_lines, dtype=np.int64)
+    out_lines[pos_wb] = np.asarray(wb_lines, dtype=np.int64)
+    out_writes[pos_wb] = True
     cache.accesses = len(lines)
-    cache.misses = misses
-    cache.writebacks = writebacks
+    cache.misses = n_miss
+    cache.writebacks = n_wb
     mem = AccessTrace(
-        np.asarray(out_gaps, dtype=np.int64),
-        np.asarray(out_lines, dtype=np.int64),
-        np.asarray(out_writes, dtype=bool),
+        out_gaps,
+        out_lines,
+        out_writes,
         tail_instructions=pending + trace.tail_instructions,
     )
-    return LlcResult(mem, len(lines), misses, writebacks)
+    return LlcResult(mem, len(lines), n_miss, n_wb)

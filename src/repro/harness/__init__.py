@@ -1,6 +1,17 @@
 """Experiment drivers that regenerate every table and figure of the paper."""
 
+from .cache import ArtifactCache, fingerprint, get_cache, set_cache_enabled
 from .experiment import RunScale, SystemRun, alone_ipc, run_benchmark, scale_from_env
+from .runner import (
+    PlanResults,
+    RunnerStats,
+    RunPlan,
+    RunSpec,
+    execute_plan,
+    last_stats,
+    resolve_jobs,
+    session_stats,
+)
 from .multi_core import (
     LLC_SWEEP_BYTES,
     MixRun,
@@ -19,6 +30,18 @@ from .single_core import (
 from . import reporting
 
 __all__ = [
+    "ArtifactCache",
+    "fingerprint",
+    "get_cache",
+    "set_cache_enabled",
+    "PlanResults",
+    "RunnerStats",
+    "RunPlan",
+    "RunSpec",
+    "execute_plan",
+    "last_stats",
+    "resolve_jobs",
+    "session_stats",
     "RunScale",
     "SystemRun",
     "alone_ipc",

@@ -1,0 +1,230 @@
+"""Persistent, content-keyed artifact cache for experiment results.
+
+Every simulation in this repository is a pure function of its
+configuration: traces are seeded, the controller is deterministic, and a
+``(workload, SystemConfig, RunScale)`` point always produces the same
+:class:`~repro.cpu.MulticoreResult`.  That makes results *content
+addressable* — the cache key is a fingerprint of everything the result
+depends on, and a stored artifact never goes stale as long as the
+fingerprint covers its inputs.
+
+Two kinds of artifact are cached:
+
+* **LLC-filtered memory traces** (``SpecProfile.memory_trace``) — keyed on
+  the benchmark's phase-model parameters, run length, seed and LLC
+  geometry;
+* **simulation results** (the runner's ``RunSpec`` executions) — keyed on
+  the workload set, full ``SystemConfig`` and run length/seed.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default
+  ``~/.cache/repro-artifacts``);
+* ``REPRO_CACHE=off`` (or ``0``) — disable the disk cache entirely; the
+  CLI's ``--no-cache`` flag does the same per invocation.
+
+Entries are pickled with an atomic write (temp file + ``os.replace``) so
+concurrent worker processes can populate the same cache safely; a
+corrupted or truncated entry is treated as a miss, deleted, and
+recomputed — never a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "fingerprint",
+    "ArtifactCache",
+    "NullCache",
+    "get_cache",
+    "cache_enabled",
+    "set_cache_enabled",
+    "default_cache_dir",
+    "MISS",
+]
+
+#: Bump when simulator semantics change in a way fingerprints cannot see
+#: (e.g. a scheduling-policy fix): invalidates every stored artifact.
+CACHE_SCHEMA = 1
+
+#: Sentinel distinguishing "cached None" from "not cached".
+MISS = object()
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure for fingerprinting.
+
+    Dataclasses flatten to ``{class, field: value, ...}`` dicts so adding
+    a field (with a new value) changes the fingerprint, enums reduce to
+    their qualified name, and containers recurse.  Python's salted
+    ``hash()`` is never used — fingerprints must agree across processes.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return obj.hex()
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable hex digest of ``parts`` (configs, scales, scalars, tuples)."""
+    blob = json.dumps(
+        [CACHE_SCHEMA, [_canonical(p) for p in parts]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+class ArtifactCache:
+    """A directory of pickled artifacts, addressed by fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _path(self, key: str) -> Path:
+        # two-level sharding keeps directory listings manageable
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load the artifact for ``key``, or ``default`` on any failure."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except Exception:
+            # truncated write, foreign bytes, unpicklable class — recover
+            # by dropping the entry and recomputing.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (safe under contention)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # a read-only or full cache dir degrades to a no-op, not a crash
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*/*.pkl"):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache:
+    """Disabled cache: every get misses, every put is dropped."""
+
+    root = None
+    hits = 0
+    misses = 0
+    corrupt = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        pass
+
+    def clear(self) -> int:
+        return 0
+
+
+_NULL = NullCache()
+_INSTANCES: dict[Path, ArtifactCache] = {}
+#: process-wide override set by ``set_cache_enabled`` (None → env decides)
+_ENABLED_OVERRIDE: bool | None = None
+
+
+def default_cache_dir() -> Path:
+    """Cache directory honoring ``REPRO_CACHE_DIR``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-artifacts"
+
+
+def cache_enabled() -> bool:
+    """Whether the disk cache is active (override, else env, else on)."""
+    if _ENABLED_OVERRIDE is not None:
+        return _ENABLED_OVERRIDE
+    return os.environ.get("REPRO_CACHE", "on").lower() not in ("0", "off", "false", "no")
+
+
+def set_cache_enabled(enabled: bool | None) -> None:
+    """Force the cache on/off for this process (``None`` restores env control)."""
+    global _ENABLED_OVERRIDE
+    _ENABLED_OVERRIDE = enabled
+
+
+def get_cache() -> ArtifactCache | NullCache:
+    """The artifact cache for the current environment (re-read per call,
+    so tests and the CLI can repoint ``REPRO_CACHE_DIR`` at any time)."""
+    if not cache_enabled():
+        return _NULL
+    root = default_cache_dir()
+    inst = _INSTANCES.get(root)
+    if inst is None:
+        inst = _INSTANCES[root] = ArtifactCache(root)
+    return inst

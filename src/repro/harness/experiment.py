@@ -9,19 +9,20 @@ the ``REPRO_SCALE`` environment variable:
 * ``REPRO_SCALE=default`` — minutes-long runs with stable statistics,
 * ``REPRO_SCALE=paper`` — the scale used to produce EXPERIMENTS.md.
 
-Alone-run IPCs (the denominator of weighted speedup) are memoized because
-they are pure functions of (benchmark, LLC share, scale).
+Alone-run IPCs (the denominator of weighted speedup) are pure functions
+of (benchmark, LLC share, scale, memory configuration) and are served
+through the runner's memo + artifact cache, keyed on a full config
+fingerprint — two different ``SystemConfig``s never share an IPC.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..config import LlcConfig, RefreshMode, SystemConfig
-from ..cpu import MulticoreResult, run_cores
+from ..cpu import MulticoreResult
 from ..energy import EnergyBreakdown, system_energy
-from ..workloads import SpecProfile, profile
 
 __all__ = ["RunScale", "SystemRun", "run_benchmark", "alone_ipc", "scale_from_env"]
 
@@ -94,10 +95,16 @@ def run_benchmark(
     system: str = "",
     record_events: bool = False,
 ) -> SystemRun:
-    """Run one benchmark profile on one memory configuration."""
-    p: SpecProfile = profile(name)
-    mt = p.memory_trace(scale.instructions, config.llc, seed=scale.seed)
-    result = run_cores([mt], config, record_events=record_events)
+    """Run one benchmark profile on one memory configuration.
+
+    Routed through the runner, so repeated identical runs (across
+    drivers, processes or invocations) are served from the memo or the
+    persistent artifact cache.
+    """
+    from .runner import RunSpec, execute_plan
+
+    spec = RunSpec.benchmark(name, config, scale, record_events=record_events)
+    result = execute_plan([spec], jobs=1)[spec]
     return SystemRun(
         benchmark=name,
         system=system or "custom",
@@ -106,25 +113,19 @@ def run_benchmark(
     )
 
 
-#: memo of alone-run IPCs: (benchmark, llc size, instructions, seed) → IPC
-_ALONE_CACHE: dict[tuple, float] = {}
-
-
 def alone_ipc(name: str, llc: LlcConfig, scale: RunScale, config: SystemConfig) -> float:
     """IPC of a benchmark running alone (weighted-speedup denominator).
 
     Computed on the non-partitioned baseline memory with refresh on —
-    the conventional choice for Eq. 4 — and memoized.
+    the conventional choice for Eq. 4.  Cached through the runner under a
+    *full* config fingerprint (refresh mode, timings, address mapping,
+    scheduler — everything), so two different memory systems never
+    silently share an alone IPC.
     """
-    key = (name, llc.size_bytes, llc.ways, scale.instructions, scale.seed)
-    cached = _ALONE_CACHE.get(key)
-    if cached is None:
-        p = profile(name)
-        mt = p.memory_trace(scale.instructions, llc, seed=scale.seed)
-        base = replace(config, rop=replace(config.rop, enabled=False))
-        cached = run_cores([mt], base).ipc
-        _ALONE_CACHE[key] = cached
-    return cached
+    from .runner import RunSpec, execute_plan
+
+    spec = RunSpec.alone(name, llc, scale, config)
+    return execute_plan([spec], jobs=1)[spec].ipc
 
 
 def no_refresh(config: SystemConfig) -> SystemConfig:

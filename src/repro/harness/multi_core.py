@@ -7,18 +7,26 @@ refresh-oriented prefetching). The 4 MB LLC is shared in the paper; we
 model it as statically partitioned (each core filters through a
 ``size / 4`` slice), which keeps LLC filtering a pure per-trace function —
 see DESIGN.md.
+
+Each driver declares its full (mix × system [× LLC size]) grid — mix
+co-simulations *and* the alone runs that feed the weighted-speedup
+denominator — on one :class:`~repro.harness.runner.RunPlan` and executes
+it once, so alone runs shared between systems (Baseline-RP and ROP use
+the same ROP-off memory) are simulated once and everything fans out over
+``REPRO_JOBS`` workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..config import LlcConfig, SystemConfig
-from ..cpu import MulticoreResult, run_cores
+from ..cpu import MulticoreResult
 from ..energy import EnergyBreakdown, system_energy
 from ..stats.metrics import weighted_speedup
 from ..workloads import WORKLOAD_MIXES, mix_profiles
-from .experiment import RunScale, alone_ipc
+from .experiment import RunScale
+from .runner import PlanResults, RunPlan, RunSpec, core_llc_share
 
 __all__ = [
     "MixRun",
@@ -45,7 +53,47 @@ class MixRun:
 
 def _core_llc_share(llc_bytes: int, cores: int = 4) -> LlcConfig:
     """Per-core slice of the statically partitioned shared LLC."""
-    return LlcConfig(size_bytes=max(64 * 1024, llc_bytes // cores))
+    return core_llc_share(llc_bytes, cores)
+
+
+@dataclass(frozen=True)
+class _MixPoint:
+    """Declared specs for one (mix, system) grid point."""
+
+    mix: str
+    system: str
+    config: SystemConfig
+    spec: RunSpec
+    alone_specs: tuple[RunSpec, ...]
+
+    def assemble(self, results: PlanResults) -> MixRun:
+        """Build the :class:`MixRun` once the plan has executed."""
+        result = results[self.spec]
+        alone = [results[s].ipc for s in self.alone_specs]
+        return MixRun(
+            mix=self.mix,
+            system=self.system,
+            result=result,
+            energy=system_energy(result.stats, self.config),
+            weighted_speedup=weighted_speedup(result.ipcs, alone),
+        )
+
+
+def _declare_mix(
+    plan: RunPlan,
+    mix: str,
+    config: SystemConfig,
+    scale: RunScale,
+    *,
+    system: str = "",
+    llc_bytes: int | None = None,
+) -> _MixPoint:
+    """Declare the co-simulation and the four alone runs for one point."""
+    spec = plan.mix(mix, config, scale, llc_bytes=llc_bytes)
+    alone_specs = tuple(
+        plan.alone(p.name, spec.trace_llc, scale, config) for p in mix_profiles(mix)
+    )
+    return _MixPoint(mix, system or "custom", config, spec, alone_specs)
 
 
 def run_mix(
@@ -55,20 +103,12 @@ def run_mix(
     *,
     system: str = "",
     llc_bytes: int | None = None,
+    jobs: int | None = None,
 ) -> MixRun:
     """Run one mix on one memory system and compute its weighted speedup."""
-    profiles = mix_profiles(mix)
-    share = _core_llc_share(llc_bytes if llc_bytes is not None else config.llc.size_bytes)
-    traces = [p.memory_trace(scale.instructions, share, seed=scale.seed) for p in profiles]
-    result = run_cores(traces, config)
-    alone = [alone_ipc(p.name, share, scale, config) for p in profiles]
-    return MixRun(
-        mix=mix,
-        system=system or "custom",
-        result=result,
-        energy=system_energy(result.stats, config),
-        weighted_speedup=weighted_speedup(result.ipcs, alone),
-    )
+    plan = RunPlan()
+    point = _declare_mix(plan, mix, config, scale, system=system, llc_bytes=llc_bytes)
+    return point.assemble(plan.execute(jobs=jobs))
 
 
 def three_systems(
@@ -90,15 +130,23 @@ def three_systems(
 def fig10_11_weighted_speedup(
     mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
     scale: RunScale = RunScale(),
+    *,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figs. 10/11: normalized weighted speedup and energy, three systems."""
-    rows = []
-    for mix in mixes:
-        systems = three_systems(training_refreshes=scale.training_refreshes)
-        runs = {
-            name: run_mix(mix, cfg, scale, system=name)
+    systems = three_systems(training_refreshes=scale.training_refreshes)
+    plan = RunPlan()
+    grid = {
+        mix: {
+            name: _declare_mix(plan, mix, cfg, scale, system=name)
             for name, cfg in systems.items()
         }
+        for mix in mixes
+    }
+    results = plan.execute(jobs=jobs)
+    rows = []
+    for mix in mixes:
+        runs = {name: point.assemble(results) for name, point in grid[mix].items()}
         base = runs["Baseline"]
         rows.append(
             {
@@ -121,23 +169,34 @@ def fig12_13_14_llc_sensitivity(
     mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
     scale: RunScale = RunScale(),
     llc_sweep: tuple[int, ...] = LLC_SWEEP_BYTES,
+    *,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figs. 12/13/14: weighted speedup, energy and hit rate vs LLC size.
 
     Values are normalized to the *Baseline* system at the same LLC size,
     matching the paper's presentation.
     """
-    rows = []
+    plan = RunPlan()
+    grid: dict[str, dict[int, dict[str, _MixPoint]]] = {}
     for mix in mixes:
-        per_llc = {}
+        grid[mix] = {}
         for llc_bytes in llc_sweep:
             systems = three_systems(
                 llc_bytes, training_refreshes=scale.training_refreshes
             )
-            runs = {
-                name: run_mix(mix, cfg, scale, system=name, llc_bytes=llc_bytes)
+            grid[mix][llc_bytes] = {
+                name: _declare_mix(
+                    plan, mix, cfg, scale, system=name, llc_bytes=llc_bytes
+                )
                 for name, cfg in systems.items()
             }
+    results = plan.execute(jobs=jobs)
+    rows = []
+    for mix in mixes:
+        per_llc = {}
+        for llc_bytes, points in grid[mix].items():
+            runs = {name: point.assemble(results) for name, point in points.items()}
             base = runs["Baseline"]
             per_llc[llc_bytes] = {
                 "norm_ws": {

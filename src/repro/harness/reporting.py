@@ -17,6 +17,7 @@ __all__ = [
     "render_fig7_8_9",
     "render_fig10_11",
     "render_llc_sensitivity",
+    "render_runner_stats",
 ]
 
 
@@ -149,6 +150,23 @@ def render_fig10_11(rows: list[dict]) -> str:
         ["GEOMEAN"] + [_f(gm_ws[s]) for s in systems] + [_f(gm_e[s]) for s in systems]
     )
     return format_table(headers, body)
+
+
+def render_runner_stats(stats) -> str:
+    """One-line execution summary: dedup, cache hits, jobs, wall clock.
+
+    ``stats`` is a :class:`~repro.harness.runner.RunnerStats` (from
+    ``last_stats()`` for the most recent plan, or ``session_stats()``
+    for the process aggregate).
+    """
+    dedup = stats.requested - stats.unique
+    return (
+        f"runner: {stats.requested} runs ({stats.unique} unique, {dedup} deduped) | "
+        f"cache hits {stats.hits}/{stats.unique} ({100 * stats.hit_rate:.0f}%: "
+        f"{stats.memo_hits} memo + {stats.cache_hits} disk) | "
+        f"simulated {stats.executed} with jobs={stats.jobs} | "
+        f"wall {stats.wall_s:.2f}s"
+    )
 
 
 def render_llc_sensitivity(rows: list[dict], metric: str = "norm_ws") -> str:

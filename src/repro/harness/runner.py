@@ -1,0 +1,331 @@
+"""Parallel experiment execution: declare a grid, run it on all cores.
+
+The paper's figures and tables are embarrassingly parallel grids of
+independent, deterministic simulations (12 benchmarks × 6 systems for
+Figs. 7–9; 6 mixes × 4 LLC sizes × 3 systems for Figs. 12–14).  Instead
+of looping, a driver *declares* its grid as :class:`RunSpec` points on a
+:class:`RunPlan` and executes the plan once:
+
+* identical specs are **deduplicated** — Fig. 1 and Fig. 7 both need the
+  same baseline and no-refresh runs, which used to simulate twice;
+* results are served from a process-local memo, then the persistent
+  content-keyed :mod:`~repro.harness.cache`, and only then simulated;
+* cache misses fan out over a ``ProcessPoolExecutor`` (``REPRO_JOBS``
+  env var or the ``jobs=`` argument; ``jobs=1`` runs in-process,
+  preserving the sequential behaviour bit for bit — determinism is
+  seeded, so parallel and sequential execution produce identical
+  results).
+
+Every execution updates :func:`last_stats` (wall clock, dedup and
+cache-hit counters) which the CLI prints after each figure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+from ..config import LlcConfig, SystemConfig
+from ..cpu import MulticoreResult, run_cores
+from ..workloads import mix_profiles, profile
+from .cache import MISS, fingerprint, get_cache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .experiment import RunScale
+
+__all__ = [
+    "RunSpec",
+    "RunPlan",
+    "PlanResults",
+    "RunnerStats",
+    "execute_plan",
+    "run_spec",
+    "resolve_jobs",
+    "core_llc_share",
+    "last_stats",
+    "session_stats",
+    "clear_result_memo",
+]
+
+
+def core_llc_share(llc_bytes: int, cores: int = 4) -> LlcConfig:
+    """Per-core slice of the statically partitioned shared LLC."""
+    return LlcConfig(size_bytes=max(64 * 1024, llc_bytes // cores))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One deterministic co-simulation point.
+
+    Identity (and therefore the cache key) covers everything the result
+    depends on: the per-core workload names, the full ``SystemConfig``,
+    the LLC geometry the traces are filtered through, and the run
+    length/seed.  Presentation details (system labels, normalization)
+    live in the drivers, so the same spec declared by two figures is one
+    simulation.
+    """
+
+    workloads: tuple[str, ...]
+    config: SystemConfig
+    #: per-core LLC slice the traces are filtered through (equals
+    #: ``config.llc`` for single-core runs, a quarter slice for mixes)
+    trace_llc: LlcConfig
+    instructions: int
+    seed: int
+    record_events: bool = False
+
+    @property
+    def key(self) -> str:
+        """Content fingerprint — the artifact-cache address."""
+        return fingerprint(
+            "run",
+            list(self.workloads),
+            self.config,
+            self.trace_llc,
+            self.instructions,
+            self.seed,
+            self.record_events,
+        )
+
+    # -- constructors matching the paper's experiment shapes ---------------
+
+    @classmethod
+    def benchmark(
+        cls,
+        name: str,
+        config: SystemConfig,
+        scale: "RunScale",
+        *,
+        record_events: bool = False,
+    ) -> "RunSpec":
+        """Single benchmark on a single-core system."""
+        return cls(
+            workloads=(name,),
+            config=config,
+            trace_llc=config.llc,
+            instructions=scale.instructions,
+            seed=scale.seed,
+            record_events=record_events,
+        )
+
+    @classmethod
+    def mix(
+        cls,
+        mix: str,
+        config: SystemConfig,
+        scale: "RunScale",
+        *,
+        llc_bytes: int | None = None,
+    ) -> "RunSpec":
+        """Four-benchmark workload mix on a multi-core system."""
+        names = tuple(p.name for p in mix_profiles(mix))
+        share = core_llc_share(llc_bytes if llc_bytes is not None else config.llc.size_bytes)
+        return cls(
+            workloads=names,
+            config=config,
+            trace_llc=share,
+            instructions=scale.instructions,
+            seed=scale.seed,
+        )
+
+    @classmethod
+    def alone(
+        cls, name: str, llc: LlcConfig, scale: "RunScale", config: SystemConfig
+    ) -> "RunSpec":
+        """Alone run (weighted-speedup denominator): ROP off, same memory."""
+        base = replace(config, rop=replace(config.rop, enabled=False))
+        return cls(
+            workloads=(name,),
+            config=base,
+            trace_llc=llc,
+            instructions=scale.instructions,
+            seed=scale.seed,
+        )
+
+
+def run_spec(spec: RunSpec) -> MulticoreResult:
+    """Execute one spec (pure function; also the worker-process entry)."""
+    traces = [
+        profile(name).memory_trace(spec.instructions, spec.trace_llc, seed=spec.seed)
+        for name in spec.workloads
+    ]
+    return run_cores(traces, spec.config, record_events=spec.record_events)
+
+
+@dataclass
+class RunnerStats:
+    """Counters for one ``execute_plan`` call (or a session aggregate)."""
+
+    requested: int = 0  #: specs declared (before dedup)
+    unique: int = 0  #: distinct simulations after dedup
+    memo_hits: int = 0  #: served from the in-process memo
+    cache_hits: int = 0  #: served from the persistent artifact cache
+    executed: int = 0  #: actually simulated
+    jobs: int = 1  #: worker processes used
+    wall_s: float = 0.0  #: wall-clock seconds for the whole plan
+
+    @property
+    def hits(self) -> int:
+        """Total results served without simulating."""
+        return self.memo_hits + self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique specs served from a cache layer."""
+        return self.hits / self.unique if self.unique else 0.0
+
+    def absorb(self, other: "RunnerStats") -> None:
+        """Accumulate ``other`` into this aggregate."""
+        self.requested += other.requested
+        self.unique += other.unique
+        self.memo_hits += other.memo_hits
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.jobs = max(self.jobs, other.jobs)
+        self.wall_s += other.wall_s
+
+
+#: in-process L1 over the disk cache: spec key → result
+_RESULT_MEMO: dict[str, MulticoreResult] = {}
+_LAST_STATS = RunnerStats()
+_SESSION_STATS = RunnerStats()
+
+
+def clear_result_memo() -> None:
+    """Drop the in-process result memo (tests and equivalence checks)."""
+    _RESULT_MEMO.clear()
+
+
+def last_stats() -> RunnerStats:
+    """Counters of the most recent ``execute_plan`` call."""
+    return _LAST_STATS
+
+
+def session_stats() -> RunnerStats:
+    """Counters accumulated over the whole process."""
+    return _SESSION_STATS
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    ``REPRO_JOBS=0`` (or ``auto``) means one worker per CPU.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+        try:
+            jobs = 0 if raw == "auto" else int(raw or 1)
+        except ValueError:
+            raise SystemExit(
+                f"REPRO_JOBS must be an integer or 'auto', got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+class PlanResults:
+    """Results of an executed plan, indexed by :class:`RunSpec`."""
+
+    def __init__(self, by_key: dict[str, MulticoreResult], stats: RunnerStats) -> None:
+        self._by_key = by_key
+        self.stats = stats
+
+    def __getitem__(self, spec: RunSpec) -> MulticoreResult:
+        return self._by_key[spec.key]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+
+def execute_plan(
+    specs: "Iterable[RunSpec] | RunPlan",
+    *,
+    jobs: int | None = None,
+    cache=None,
+) -> PlanResults:
+    """Run every spec (deduplicated, cached, parallel) and map results.
+
+    ``jobs=1`` executes in-process in declaration order — exactly the
+    legacy sequential path.  ``jobs>1`` fans cache misses out over a
+    process pool; results are identical because every simulation is a
+    pure function of its spec.
+    """
+    global _LAST_STATS
+    t0 = time.perf_counter()
+    spec_list = list(specs.specs if isinstance(specs, RunPlan) else specs)
+    jobs = resolve_jobs(jobs)
+    cache = get_cache() if cache is None else cache
+
+    unique: dict[str, RunSpec] = {}
+    for spec in spec_list:
+        unique.setdefault(spec.key, spec)
+
+    stats = RunnerStats(requested=len(spec_list), unique=len(unique), jobs=jobs)
+    results: dict[str, MulticoreResult] = {}
+    todo: list[tuple[str, RunSpec]] = []
+    for key, spec in unique.items():
+        memoized = _RESULT_MEMO.get(key)
+        if memoized is not None:
+            results[key] = memoized
+            stats.memo_hits += 1
+            continue
+        cached = cache.get(key, MISS)
+        if cached is not MISS:
+            results[key] = cached
+            _RESULT_MEMO[key] = cached
+            stats.cache_hits += 1
+            continue
+        todo.append((key, spec))
+
+    if todo:
+        stats.executed = len(todo)
+        if jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                computed = list(pool.map(run_spec, [s for _, s in todo]))
+        else:
+            computed = [run_spec(s) for _, s in todo]
+        for (key, spec), result in zip(todo, computed):
+            results[key] = result
+            _RESULT_MEMO[key] = result
+            cache.put(key, result)
+
+    stats.wall_s = time.perf_counter() - t0
+    _LAST_STATS = stats
+    _SESSION_STATS.absorb(stats)
+    return PlanResults(results, stats)
+
+
+class RunPlan:
+    """A declared grid of runs; drivers build one and execute it once."""
+
+    def __init__(self) -> None:
+        self.specs: list[RunSpec] = []
+
+    def add(self, spec: RunSpec) -> RunSpec:
+        """Declare one spec; returns it as the result-lookup handle."""
+        self.specs.append(spec)
+        return spec
+
+    # -- declaration sugar mirroring RunSpec constructors -------------------
+
+    def benchmark(self, name, config, scale, *, record_events=False) -> RunSpec:
+        return self.add(
+            RunSpec.benchmark(name, config, scale, record_events=record_events)
+        )
+
+    def mix(self, mix, config, scale, *, llc_bytes=None) -> RunSpec:
+        return self.add(RunSpec.mix(mix, config, scale, llc_bytes=llc_bytes))
+
+    def alone(self, name, llc, scale, config) -> RunSpec:
+        return self.add(RunSpec.alone(name, llc, scale, config))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def execute(self, *, jobs: int | None = None, cache=None) -> PlanResults:
+        """Execute the declared grid (dedup → cache → parallel fan-out)."""
+        return execute_plan(self, jobs=jobs, cache=cache)

@@ -7,14 +7,14 @@ drivers back the pytest benchmarks, the examples and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..config import RefreshMode, SystemConfig
+from ..energy import system_energy
 from ..stats.refresh_analysis import WindowAnalysis, analyze_rank, blocked_per_refresh
 from ..workloads import SPEC_PROFILES
-from .experiment import RunScale, SystemRun, run_benchmark
+from .experiment import RunScale
+from .runner import RunPlan
 
 __all__ = [
     "DEFAULT_BENCHMARKS",
@@ -38,6 +38,8 @@ def fig1_refresh_overheads(
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     scale: RunScale = RunScale(),
     config: SystemConfig | None = None,
+    *,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Fig. 1: baseline vs idealized no-refresh memory.
 
@@ -45,22 +47,27 @@ def fig1_refresh_overheads(
     energy refresh causes.
     """
     cfg = config if config is not None else SystemConfig.single_core()
+    ideal_cfg = cfg.with_refresh_mode(RefreshMode.NONE)
+    plan = RunPlan()
+    grid = {
+        name: (plan.benchmark(name, cfg, scale), plan.benchmark(name, ideal_cfg, scale))
+        for name in benchmarks
+    }
+    results = plan.execute(jobs=jobs)
     rows = []
-    for name in benchmarks:
-        base = run_benchmark(name, cfg, scale, system="baseline")
-        ideal = run_benchmark(
-            name, cfg.with_refresh_mode(RefreshMode.NONE), scale, system="no-refresh"
-        )
+    for name, (base_spec, ideal_spec) in grid.items():
+        base, ideal = results[base_spec], results[ideal_spec]
+        base_e = system_energy(base.stats, cfg)
+        ideal_e = system_energy(ideal.stats, ideal_cfg)
         rows.append(
             {
                 "benchmark": name,
                 "ipc_baseline": base.ipc,
                 "ipc_norefresh": ideal.ipc,
                 "perf_degradation_pct": (ideal.ipc / base.ipc - 1.0) * 100.0,
-                "energy_baseline_mj": base.energy.total_mj,
-                "energy_norefresh_mj": ideal.energy.total_mj,
-                "energy_overhead_pct": (base.energy.total / ideal.energy.total - 1.0)
-                * 100.0,
+                "energy_baseline_mj": base_e.total_mj,
+                "energy_norefresh_mj": ideal_e.total_mj,
+                "energy_overhead_pct": (base_e.total / ideal_e.total - 1.0) * 100.0,
             }
         )
     return rows
@@ -86,6 +93,8 @@ def fig2_to_4_and_table1(
     scale: RunScale = RunScale(),
     config: SystemConfig | None = None,
     window_mults: tuple[float, ...] = (1.0, 2.0, 4.0),
+    *,
+    jobs: int | None = None,
 ) -> list[RefreshAnalysisRow]:
     """One baseline run per benchmark, analyzed at 1×/2×/4× windows.
 
@@ -94,10 +103,15 @@ def fig2_to_4_and_table1(
     """
     cfg = config if config is not None else SystemConfig.single_core()
     refi = cfg.effective_timings().refi
+    plan = RunPlan()
+    specs = {
+        name: plan.benchmark(name, cfg, scale, record_events=True)
+        for name in benchmarks
+    }
+    results = plan.execute(jobs=jobs)
     rows = []
-    for name in benchmarks:
-        run = run_benchmark(name, cfg, scale, system="baseline", record_events=True)
-        events = run.result.events[(0, 0)]
+    for name, spec in specs.items():
+        events = results[spec].events[(0, 0)]
         windows = {
             mult: analyze_rank(events, int(refi * mult)) for mult in window_mults
         }
@@ -122,40 +136,56 @@ def fig7_8_9_rop_comparison(
     scale: RunScale = RunScale(),
     config: SystemConfig | None = None,
     sram_sizes: tuple[int, ...] = SRAM_SIZES,
+    *,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figs. 7/8/9: baseline vs ROP (several buffer sizes) vs no-refresh.
 
     Returns one row per benchmark with normalized IPC (Fig. 7), normalized
     energy (Fig. 8) and the SRAM hit rate per buffer size (Fig. 9).
+
+    The whole (benchmark × system) grid is declared up front and executed
+    as one plan, so runs shared with other figures are deduplicated and
+    cache misses fan out over ``jobs`` worker processes.
     """
     cfg = config if config is not None else SystemConfig.single_core()
-    rows = []
-    for name in benchmarks:
-        base = run_benchmark(name, cfg, scale, system="baseline")
-        ideal = run_benchmark(
-            name, cfg.with_refresh_mode(RefreshMode.NONE), scale, system="no-refresh"
+    ideal_cfg = cfg.with_refresh_mode(RefreshMode.NONE)
+    rop_cfgs = {
+        size: cfg.with_rop(sram_lines=size, training_refreshes=scale.training_refreshes)
+        for size in sram_sizes
+    }
+    plan = RunPlan()
+    grid = {
+        name: (
+            plan.benchmark(name, cfg, scale),
+            plan.benchmark(name, ideal_cfg, scale),
+            {size: plan.benchmark(name, rop_cfgs[size], scale) for size in sram_sizes},
         )
+        for name in benchmarks
+    }
+    results = plan.execute(jobs=jobs)
+    rows = []
+    for name, (base_spec, ideal_spec, rop_specs) in grid.items():
+        base, ideal = results[base_spec], results[ideal_spec]
+        base_e = system_energy(base.stats, cfg)
+        ideal_e = system_energy(ideal.stats, ideal_cfg)
         row: dict = {
             "benchmark": name,
             "ipc_baseline": base.ipc,
             "norm_ipc_norefresh": ideal.ipc / base.ipc,
-            "norm_energy_norefresh": ideal.energy.total / base.energy.total,
+            "norm_energy_norefresh": ideal_e.total / base_e.total,
             "rop": {},
         }
         for size in sram_sizes:
-            rop = run_benchmark(
-                name,
-                cfg.with_rop(
-                    sram_lines=size, training_refreshes=scale.training_refreshes
-                ),
-                scale,
-                system=f"rop-{size}",
-            )
+            rop = results[rop_specs[size]]
+            rop_e = system_energy(rop.stats, rop_cfgs[size])
             row["rop"][size] = {
                 "norm_ipc": rop.ipc / base.ipc,
-                "norm_energy": rop.energy.total / base.energy.total,
-                "lock_hit_rate": rop.lock_hit_rate,
-                "armed_hit_rate": rop.armed_hit_rate,
+                "norm_energy": rop_e.total / base_e.total,
+                "lock_hit_rate": rop.stats.lock_hit_rate,
+                "armed_hit_rate": (
+                    rop.rop_summary["armed_hit_rate"] if rop.rop_summary else 0.0
+                ),
             }
         rows.append(row)
     return rows

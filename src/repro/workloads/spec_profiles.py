@@ -69,11 +69,31 @@ class SpecProfile:
     def memory_trace(
         self, instructions: int, llc: LlcConfig, seed: int = 0
     ) -> AccessTrace:
-        """LLC-filtered memory trace (memoized)."""
+        """LLC-filtered memory trace (memoized, disk-cache backed).
+
+        Filtering is a pure function of (phase model, run length, seed,
+        LLC geometry), so traces are also persisted through the
+        content-keyed artifact cache: worker processes and later
+        invocations load the trace instead of regenerating and
+        re-filtering it.  The fingerprint covers the full
+        :class:`~repro.workloads.synthetic.PhaseModel`, so recalibrating
+        a profile invalidates its cached traces automatically.
+        """
         key = (self.name, instructions, seed, llc.size_bytes, llc.ways, llc.line_bytes)
         cached = _MEM_TRACE_CACHE.get(key)
         if cached is None:
-            cached = filter_trace(self.cpu_trace(instructions, seed), llc).memory_trace
+            # imported lazily: workloads must not import harness at module
+            # scope (the harness drivers import workloads).
+            from ..harness.cache import fingerprint, get_cache
+
+            cache = get_cache()
+            dkey = fingerprint("trace", self.name, self.model, instructions, seed, llc)
+            cached = cache.get(dkey)
+            if not isinstance(cached, AccessTrace):
+                cached = filter_trace(
+                    self.cpu_trace(instructions, seed), llc
+                ).memory_trace
+                cache.put(dkey, cached)
             _MEM_TRACE_CACHE[key] = cached
         return cached
 

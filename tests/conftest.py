@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import (
@@ -12,6 +14,23 @@ from repro import (
     SystemConfig,
 )
 from repro.dram.timings import DDR4_1600
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact cache at a per-session temp dir.
+
+    Keeps the test suite hermetic: no reads from (or writes to) the
+    user's ``~/.cache/repro-artifacts``, and no stale artifacts from a
+    previous code version influencing results.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-artifacts"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

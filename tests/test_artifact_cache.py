@@ -1,0 +1,134 @@
+"""Tests for the content-keyed artifact cache (harness/cache.py)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import LlcConfig, RefreshMode, SystemConfig
+from repro.harness.cache import (
+    MISS,
+    ArtifactCache,
+    NullCache,
+    cache_enabled,
+    default_cache_dir,
+    fingerprint,
+    get_cache,
+    set_cache_enabled,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        cfg = SystemConfig.single_core()
+        assert fingerprint("x", cfg) == fingerprint("x", cfg)
+
+    def test_equal_configs_share_fingerprint(self):
+        # independently constructed but identical configs → same key
+        assert fingerprint(SystemConfig.single_core()) == fingerprint(
+            SystemConfig.single_core()
+        )
+
+    def test_any_config_field_changes_key(self):
+        cfg = SystemConfig.single_core()
+        variants = [
+            cfg.with_refresh_mode(RefreshMode.NONE),
+            cfg.with_rop(),
+            cfg.with_rop(sram_lines=32),
+            cfg.with_llc_size(1 << 20),
+            SystemConfig.quad_core(),
+        ]
+        keys = {fingerprint(v) for v in variants} | {fingerprint(cfg)}
+        assert len(keys) == len(variants) + 1
+
+    def test_scalars_and_tuples(self):
+        assert fingerprint("a", 1, (2, 3)) != fingerprint("a", 1, (2, 4))
+        assert fingerprint(1) != fingerprint(1.5)
+
+    def test_rejects_unfingerprintable(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("ab" + "0" * 38, {"x": 1})
+        assert cache.get("ab" + "0" * 38) == {"x": 1}
+        assert cache.hits == 1
+
+    def test_miss_returns_default(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("cd" + "0" * 38, MISS) is MISS
+        assert cache.misses == 1
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "ef" + "0" * 38
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage-not-a-pickle")
+        # corrupted entry: treated as a miss, file removed, no crash
+        assert cache.get(key, MISS) is MISS
+        assert cache.corrupt == 1
+        assert not path.exists()
+        cache.put(key, [1, 2, 3])
+        assert cache.get(key) == [1, 2, 3]
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "0f" + "1" * 38
+        cache.put(key, list(range(100)))
+        path = cache._path(key)
+        path.write_bytes(pickle.dumps(list(range(100)))[:10])
+        assert cache.get(key, MISS) is MISS
+        assert cache.corrupt == 1
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" + "0" * 38, i)
+        assert cache.clear() == 5
+        assert cache.get("00" + "0" * 38, MISS) is MISS
+
+
+class TestGlobalCache:
+    def test_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        assert get_cache().root == tmp_path
+
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not cache_enabled()
+        assert isinstance(get_cache(), NullCache)
+
+    def test_disable_via_override(self):
+        try:
+            set_cache_enabled(False)
+            assert isinstance(get_cache(), NullCache)
+        finally:
+            set_cache_enabled(None)
+        assert get_cache().enabled
+
+    def test_null_cache_is_inert(self):
+        null = NullCache()
+        null.put("k", 1)
+        assert null.get("k", MISS) is MISS
+
+    def test_trace_persisted_through_cache(self, tmp_path, monkeypatch):
+        from repro.workloads import profile
+        from repro.workloads.spec_profiles import clear_trace_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        llc = LlcConfig(size_bytes=256 * 1024, ways=4)
+        clear_trace_cache()
+        t1 = profile("gobmk").memory_trace(50_000, llc, seed=9)
+        assert any(tmp_path.glob("*/*.pkl")), "trace not written to disk cache"
+        clear_trace_cache()  # force the disk path
+        t2 = profile("gobmk").memory_trace(50_000, llc, seed=9)
+        assert (t1.gaps == t2.gaps).all()
+        assert (t1.lines == t2.lines).all()
+        assert (t1.writes == t2.writes).all()
+        assert t1.tail_instructions == t2.tail_instructions
+        clear_trace_cache()

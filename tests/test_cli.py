@@ -62,3 +62,25 @@ def test_parser_structure():
     assert args.figure == "7"
     assert args.benchmarks == ["lbm"]
     assert args.seed == 9
+    assert args.jobs is None and args.no_cache is False
+
+
+def test_parser_runner_flags():
+    args = build_parser().parse_args(
+        ["fig", "1", "gobmk", "--scale", "smoke", "--jobs", "4", "--no-cache"]
+    )
+    assert args.jobs == 4
+    assert args.no_cache is True
+
+
+def test_fig_reports_runner_stats(capsys):
+    from repro.harness import set_cache_enabled
+
+    try:
+        assert main(["fig", "1", "gobmk", "--scale", "smoke",
+                     "--jobs", "1", "--no-cache"]) == 0
+    finally:
+        set_cache_enabled(None)  # --no-cache sets a process-wide override
+    out = capsys.readouterr().out
+    assert "AVERAGE" in out
+    assert "runner:" in out and "jobs=1" in out
