@@ -22,15 +22,20 @@ from .cpu import run_cores
 from .energy import system_energy
 from .harness import (
     DEFAULT_BENCHMARKS,
+    ConfigError,
+    ExecutionPolicy,
+    PlanExecutionError,
     RunScale,
     fig1_refresh_overheads,
     fig2_to_4_and_table1,
     fig7_8_9_rop_comparison,
     fig10_11_weighted_speedup,
     fig12_13_14_llc_sensitivity,
+    last_failures,
     last_stats,
     reporting,
     set_cache_enabled,
+    set_execution_policy,
 )
 from .workloads import SPEC_PROFILES, WORKLOAD_MIXES, profile
 
@@ -38,15 +43,39 @@ __all__ = ["main"]
 
 
 def _runner_opts(args) -> int | None:
-    """Apply --no-cache and return the --jobs value (None → REPRO_JOBS)."""
+    """Apply runner flags (cache, failure policy); return the --jobs value.
+
+    The fault-tolerance policy starts from the ``REPRO_*`` environment
+    and is overridden by the explicit flags; it is installed process-wide
+    so every driver the command calls inherits it.
+    """
     if getattr(args, "no_cache", False):
         set_cache_enabled(False)
+    import dataclasses
+
+    policy = ExecutionPolicy.from_env()
+    overrides = {}
+    if getattr(args, "spec_timeout", None) is not None:
+        overrides["spec_timeout_s"] = args.spec_timeout if args.spec_timeout > 0 else None
+    if getattr(args, "retries", None) is not None:
+        overrides["max_attempts"] = max(1, args.retries)
+    if getattr(args, "keep_going", False):
+        overrides["keep_going"] = True
+    if getattr(args, "fail_fast", False):
+        overrides["keep_going"] = False
+    if getattr(args, "audit", False):
+        overrides["audit"] = True
+    set_execution_policy(dataclasses.replace(policy, **overrides) if overrides else policy)
     return getattr(args, "jobs", None)
 
 
 def _print_runner_stats() -> None:
     print()
     print(reporting.render_runner_stats(last_stats()))
+    failures = last_failures()
+    if failures:
+        print()
+        print(reporting.render_failures(failures), file=sys.stderr)
 
 
 def _scale(args) -> RunScale:
@@ -222,6 +251,26 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="disable the persistent artifact cache "
                              "(REPRO_CACHE_DIR) for this invocation")
+        sp.add_argument("--spec-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-spec wall-clock limit; a hung worker is "
+                             "killed and reported as a timeout failure "
+                             "(default: REPRO_SPEC_TIMEOUT; 0 disables)")
+        sp.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="executions allowed per spec before a transient "
+                             "failure becomes terminal (default: REPRO_RETRIES "
+                             "or 3)")
+        fail = sp.add_mutually_exclusive_group()
+        fail.add_argument("--keep-going", action="store_true",
+                          help="on spec failure, keep running the remaining "
+                               "specs and render figures from surviving "
+                               "points (failures are listed at the end)")
+        fail.add_argument("--fail-fast", action="store_true",
+                          help="abort the plan on the first terminal failure "
+                               "(the default; overrides REPRO_KEEP_GOING=1)")
+        sp.add_argument("--audit", action="store_true",
+                        help="run the physical-invariant checker on every "
+                             "simulated result before it enters the cache")
 
     sp = sub.add_parser("info", help="print configuration summary")
     sp.set_defaults(func=_cmd_info)
@@ -258,9 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Translates library errors into exit codes here, at the boundary:
+    malformed configuration (``ConfigError``) exits 2, a fail-fast plan
+    failure prints the failure report and exits 1, and an interrupt
+    (after the runner has persisted completed results and printed its
+    resume hint) exits 130.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except PlanExecutionError as exc:
+        print(reporting.render_failures(exc.failures), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        set_execution_policy(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

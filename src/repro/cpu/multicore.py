@@ -85,13 +85,25 @@ def run_cores(
     record_events: bool = False,
     place: bool = True,
     max_cycles: int | None = None,
+    audit: bool = False,
 ) -> MulticoreResult:
     """Run one co-simulation of ``traces`` (one per core) and return results.
 
     ``place=False`` replays traces at their given addresses (callers that
     pre-placed them); ``max_cycles`` bounds runaway simulations.
+
+    ``audit=True`` captures every memory request and runs the invariant
+    checker (:func:`repro.stats.invariants.check_run`) on the finished
+    simulation, raising ``InvariantViolation`` instead of returning a
+    physically impossible result.  The audit never changes the result:
+    lock/refresh checks additionally need ``record_events=True``.
     """
     memory = MemorySystem(config, record_events=record_events)
+    log = None
+    if audit:
+        from ..stats.invariants import RequestLog
+
+        log = RequestLog().attach(memory)
     placed = place_traces(traces, config) if place else traces
     cores = [Core(i, tr, memory, config.core) for i, tr in enumerate(placed)]
     for c in cores:
@@ -112,6 +124,11 @@ def run_cores(
         memory.run(until=last_retire)
     stats = memory.finish()
     stats.end_cycle = max(stats.end_cycle, last_retire)
+    if log is not None:
+        from ..stats.invariants import check_run
+
+        log.detach()
+        check_run(log, memory)
     results = tuple(
         CoreResult(
             core_id=c.core_id,

@@ -48,13 +48,15 @@ class Bank:
         recovery).
     """
 
-    __slots__ = ("open_row", "ready_at", "pre_ok_at", "act_cycle")
+    __slots__ = ("open_row", "ready_at", "pre_ok_at", "act_cycle", "busy_until")
 
     def __init__(self) -> None:
         self.open_row: int | None = None
         self.ready_at: int = 0
         self.pre_ok_at: int = 0
         self.act_cycle: int = -(10**9)
+        #: end of the latest committed data burst (read or write)
+        self.busy_until: int = 0
 
     def plan(
         self,
@@ -92,6 +94,7 @@ class Bank:
             self.open_row = row
             self.act_cycle = plan.act_cycle
         self.ready_at = plan.col_cycle + t.ccd
+        self.busy_until = max(self.busy_until, plan.data_end)
         if is_write:
             # Precharge must wait for write recovery after the burst.
             recover = plan.col_cycle + t.cwl + t.burst + t.wr
@@ -110,7 +113,12 @@ class Bank:
         """Earliest cycle the bank is safe to lock for refresh.
 
         A refresh may not interrupt an in-flight row cycle: the bank must
-        be precharge-able (``pre_ok_at``) and past any pending command
-        window (``ready_at``).
+        be precharge-able (``pre_ok_at``), past any pending command window
+        (``ready_at``), and past the last committed data burst
+        (``busy_until`` — a REF cannot cut a burst short on the pins).
         """
-        return max(self.ready_at, self.pre_ok_at if self.open_row is not None else 0)
+        return max(
+            self.ready_at,
+            self.busy_until,
+            self.pre_ok_at if self.open_row is not None else 0,
+        )

@@ -38,6 +38,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -55,7 +56,7 @@ __all__ = [
 
 #: Bump when simulator semantics change in a way fingerprints cannot see
 #: (e.g. a scheduling-policy fix): invalidates every stored artifact.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # v2: refresh may not cut an in-flight data burst (Bank.busy_until)
 
 #: Sentinel distinguishing "cached None" from "not cached".
 MISS = object()
@@ -105,6 +106,8 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.write_errors = 0
+        self._warned_unwritable = False
 
     @property
     def enabled(self) -> bool:
@@ -152,9 +155,21 @@ class ArtifactCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
-            # a read-only or full cache dir degrades to a no-op, not a crash
-            pass
+        except OSError as exc:
+            # a read-only or full cache dir degrades to a no-op, not a
+            # crash — but say so once, or every future run re-simulates
+            # without the user ever learning why
+            self.write_errors += 1
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                warnings.warn(
+                    f"artifact cache at {self.root} is not writable "
+                    f"({type(exc).__name__}: {exc}); results will not persist and "
+                    f"future runs will re-simulate (set REPRO_CACHE_DIR to a "
+                    f"writable directory, or REPRO_CACHE=off to silence this)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
@@ -176,6 +191,7 @@ class NullCache:
     hits = 0
     misses = 0
     corrupt = 0
+    write_errors = 0
 
     @property
     def enabled(self) -> bool:

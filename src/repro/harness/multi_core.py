@@ -26,7 +26,7 @@ from ..energy import EnergyBreakdown, system_energy
 from ..stats.metrics import weighted_speedup
 from ..workloads import WORKLOAD_MIXES, mix_profiles
 from .experiment import RunScale
-from .runner import PlanResults, RunPlan, RunSpec, core_llc_share
+from .runner import PlanExecutionError, PlanResults, RunPlan, RunSpec, core_llc_share
 
 __all__ = [
     "MixRun",
@@ -65,6 +65,10 @@ class _MixPoint:
     config: SystemConfig
     spec: RunSpec
     alone_specs: tuple[RunSpec, ...]
+
+    def complete(self, results: PlanResults) -> bool:
+        """Whether every spec of this point survived (keep-going mode)."""
+        return results.ok(self.spec, *self.alone_specs)
 
     def assemble(self, results: PlanResults) -> MixRun:
         """Build the :class:`MixRun` once the plan has executed."""
@@ -108,7 +112,11 @@ def run_mix(
     """Run one mix on one memory system and compute its weighted speedup."""
     plan = RunPlan()
     point = _declare_mix(plan, mix, config, scale, system=system, llc_bytes=llc_bytes)
-    return point.assemble(plan.execute(jobs=jobs))
+    results = plan.execute(jobs=jobs)
+    if not point.complete(results):
+        # keep-going cannot salvage a single point: every spec is needed
+        raise PlanExecutionError(results.failures)
+    return point.assemble(results)
 
 
 def three_systems(
@@ -146,6 +154,10 @@ def fig10_11_weighted_speedup(
     results = plan.execute(jobs=jobs)
     rows = []
     for mix in mixes:
+        # keep-going: a mix contributes a row only if all three systems
+        # survived — the row normalizes everything to Baseline
+        if not all(point.complete(results) for point in grid[mix].values()):
+            continue
         runs = {name: point.assemble(results) for name, point in grid[mix].items()}
         base = runs["Baseline"]
         rows.append(
@@ -196,6 +208,10 @@ def fig12_13_14_llc_sensitivity(
     for mix in mixes:
         per_llc = {}
         for llc_bytes, points in grid[mix].items():
+            # keep-going: drop the (mix, LLC) point unless all three
+            # Baseline-normalized systems survived
+            if not all(point.complete(results) for point in points.values()):
+                continue
             runs = {name: point.assemble(results) for name, point in points.items()}
             base = runs["Baseline"]
             per_llc[llc_bytes] = {
@@ -213,5 +229,6 @@ def fig12_13_14_llc_sensitivity(
                     else 0.0
                 ),
             }
-        rows.append({"mix": mix, "llc": per_llc})
+        if per_llc:
+            rows.append({"mix": mix, "llc": per_llc})
     return rows

@@ -18,7 +18,11 @@ __all__ = [
     "render_fig10_11",
     "render_llc_sensitivity",
     "render_runner_stats",
+    "render_failures",
 ]
+
+#: rendered when keep-going execution left a figure with no surviving rows
+EMPTY_NOTE = "(no surviving results — every contributing spec failed)"
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -45,6 +49,8 @@ def _f(x: float, nd: int = 3) -> str:
 
 def render_fig1(rows: list[dict]) -> str:
     """Fig. 1: refresh performance and energy overheads."""
+    if not rows:
+        return EMPTY_NOTE
     body = [
         (
             r["benchmark"],
@@ -65,6 +71,8 @@ def render_fig1(rows: list[dict]) -> str:
 
 def render_table1(rows) -> str:
     """Table I: λ and β per benchmark at each window multiple."""
+    if not rows:
+        return EMPTY_NOTE
     mults = sorted(next(iter(rows)).windows)
     headers = ["benchmark"] + [f"λ@{m:g}x" for m in mults] + [f"β@{m:g}x" for m in mults]
     body = []
@@ -79,6 +87,8 @@ def render_table1(rows) -> str:
 
 def render_fig2(rows) -> str:
     """Fig. 2: percentage of non-blocking refreshes per window multiple."""
+    if not rows:
+        return EMPTY_NOTE
     mults = sorted(next(iter(rows)).windows)
     headers = ["benchmark"] + [f"non-blocking@{m:g}x" for m in mults]
     body = [
@@ -91,12 +101,16 @@ def render_fig2(rows) -> str:
 
 def render_fig3(rows) -> str:
     """Fig. 3: blocked requests per blocking refresh (physical lock)."""
+    if not rows:
+        return EMPTY_NOTE
     body = [(r.benchmark, _f(r.avg_blocked, 2), r.max_blocked) for r in rows]
     return format_table(["benchmark", "avg blocked", "max blocked"], body)
 
 
 def render_fig4(rows) -> str:
     """Fig. 4: dominant events E1 + E2 per window multiple."""
+    if not rows:
+        return EMPTY_NOTE
     mults = sorted(next(iter(rows)).windows)
     headers = ["benchmark"] + [f"E1+E2@{m:g}x" for m in mults]
     body = [
@@ -109,6 +123,8 @@ def render_fig4(rows) -> str:
 
 def render_fig7_8_9(rows: list[dict]) -> str:
     """Figs. 7/8/9 combined: normalized IPC, energy and hit rates."""
+    if not rows:
+        return EMPTY_NOTE
     sizes = sorted(next(iter(rows))["rop"]) if rows else []
     headers = (
         ["benchmark", "noref IPC"]
@@ -131,6 +147,8 @@ def render_fig7_8_9(rows: list[dict]) -> str:
 
 def render_fig10_11(rows: list[dict]) -> str:
     """Figs. 10/11: normalized weighted speedup and energy per mix."""
+    if not rows:
+        return EMPTY_NOTE
     systems = list(next(iter(rows))["norm_ws"])
     headers = (
         ["mix"]
@@ -160,12 +178,53 @@ def render_runner_stats(stats) -> str:
     for the process aggregate).
     """
     dedup = stats.requested - stats.unique
-    return (
+    line = (
         f"runner: {stats.requested} runs ({stats.unique} unique, {dedup} deduped) | "
         f"cache hits {stats.hits}/{stats.unique} ({100 * stats.hit_rate:.0f}%: "
         f"{stats.memo_hits} memo + {stats.cache_hits} disk) | "
         f"simulated {stats.executed} with jobs={stats.jobs} | "
         f"wall {stats.wall_s:.2f}s"
+    )
+    # fault-tolerance counters only appear when something went wrong, so
+    # the clean-run line stays stable
+    extras = [
+        f"{count} {label}"
+        for label, count in (
+            ("retries", stats.retries),
+            ("timeouts", stats.timeouts),
+            ("failed", stats.failed),
+            ("pool rebuilds", stats.pool_rebuilds),
+        )
+        if count
+    ]
+    if extras:
+        line += " | " + ", ".join(extras)
+    return line
+
+
+def render_failures(failures) -> str:
+    """Failure report: one row per terminally failed spec.
+
+    ``failures`` is an iterable of
+    :class:`~repro.harness.runner.SpecFailure` (``PlanResults.failures``
+    or ``last_failures()``).
+    """
+    failures = list(failures)
+    if not failures:
+        return "no failures"
+    body = [
+        (
+            f.label,
+            f.kind,
+            f.attempts,
+            f"{f.exc_type}: {f.message}"[:72],
+        )
+        for f in failures
+    ]
+    table = format_table(["spec", "kind", "attempts", "error"], body)
+    return (
+        f"{len(failures)} spec(s) failed (completed results are cached; "
+        f"re-run the same command to retry only these):\n{table}"
     )
 
 
@@ -175,14 +234,19 @@ def render_llc_sensitivity(rows: list[dict], metric: str = "norm_ws") -> str:
     ``metric`` is one of ``norm_ws``, ``norm_energy``,
     ``rop_lock_hit_rate``, ``rop_armed_hit_rate``.
     """
-    llcs = sorted(next(iter(rows))["llc"])
+    if not rows:
+        return EMPTY_NOTE
+    # union across rows: keep-going mixes may have lost different points
+    llcs = sorted({llc for r in rows for llc in r["llc"]})
     headers = ["mix"] + [f"{llc // (1024 * 1024)}MB" for llc in llcs]
     body = []
     for r in rows:
         cells = [r["mix"]]
         for llc in llcs:
-            data = r["llc"][llc]
-            if metric in ("norm_ws", "norm_energy"):
+            data = r["llc"].get(llc)
+            if data is None:  # point lost to a keep-going failure
+                cells.append("—")
+            elif metric in ("norm_ws", "norm_energy"):
                 cells.append(_f(data[metric]["ROP"]))
             else:
                 cells.append(_f(data[metric], 2))

@@ -16,39 +16,86 @@ of looping, a driver *declares* its grid as :class:`RunSpec` points on a
   seeded, so parallel and sequential execution produce identical
   results).
 
-Every execution updates :func:`last_stats` (wall clock, dedup and
-cache-hit counters) which the CLI prints after each figure.
+Execution is **fault tolerant**: each spec runs behind its own future,
+so one worker crash, hang or pathological config loses only that spec.
+The behaviour is governed by :class:`ExecutionPolicy`:
+
+* failures are classified (:class:`SpecFailure` — ``transient``,
+  ``worker-lost``, ``timeout``, ``invariant``, ``error``) and transient
+  ones are retried with exponential backoff up to ``max_attempts``;
+* a broken process pool is rebuilt (suspect specs are re-run one at a
+  time to isolate the culprit) and, past ``max_pool_rebuilds``,
+  execution degrades to in-process;
+* ``spec_timeout_s`` bounds each spec's wall clock — a hung worker is
+  killed, reported as a ``timeout`` failure, and innocent in-flight
+  specs are resubmitted without penalty;
+* completed results are flushed to the artifact cache *as they finish*,
+  so a killed or crashed sweep resumes by simply re-running the same
+  plan: only failed/missing specs simulate again;
+* ``keep_going`` returns partial :class:`PlanResults` with a
+  ``failures`` report instead of raising :class:`PlanExecutionError`
+  on the first final failure;
+* ``SIGINT``/``SIGTERM`` drain in-flight work, persist what completed
+  and print a resume hint before re-raising ``KeyboardInterrupt``.
+
+Every execution updates :func:`last_stats` (wall clock, dedup, cache-hit
+and failure counters) and :func:`last_failures`, which the CLI prints
+after each figure.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import signal
+import sys
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+import traceback as _traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
 from ..config import LlcConfig, SystemConfig
 from ..cpu import MulticoreResult, run_cores
+from ..stats.invariants import InvariantViolation
 from ..workloads import mix_profiles, profile
 from .cache import MISS, fingerprint, get_cache
+from .faults import maybe_inject
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .experiment import RunScale
 
 __all__ = [
+    "ConfigError",
+    "ExecutionPolicy",
+    "PlanExecutionError",
     "RunSpec",
     "RunPlan",
     "PlanResults",
     "RunnerStats",
+    "SpecFailure",
+    "classify_failure",
+    "current_policy",
     "execute_plan",
     "run_spec",
     "resolve_jobs",
     "core_llc_share",
     "last_stats",
+    "last_failures",
     "session_stats",
+    "set_execution_policy",
     "clear_result_memo",
 ]
+
+
+class ConfigError(ValueError):
+    """A runner knob (CLI flag or ``REPRO_*`` env var) is malformed.
+
+    Raised from library code; only the CLI boundary translates it into
+    an exit message.
+    """
 
 
 def core_llc_share(llc_bytes: int, cores: int = 4) -> LlcConfig:
@@ -65,7 +112,8 @@ class RunSpec:
     the LLC geometry the traces are filtered through, and the run
     length/seed.  Presentation details (system labels, normalization)
     live in the drivers, so the same spec declared by two figures is one
-    simulation.
+    simulation.  ``audit`` is *excluded* from the key: invariant checks
+    validate a result without changing it.
     """
 
     workloads: tuple[str, ...]
@@ -76,6 +124,9 @@ class RunSpec:
     instructions: int
     seed: int
     record_events: bool = False
+    #: run the invariant audit (:func:`repro.stats.invariants.check_run`)
+    #: on the finished simulation before the result enters the cache
+    audit: bool = False
 
     @property
     def key(self) -> str:
@@ -89,6 +140,11 @@ class RunSpec:
             self.seed,
             self.record_events,
         )
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for failure reports."""
+        return "+".join(self.workloads)
 
     # -- constructors matching the paper's experiment shapes ---------------
 
@@ -146,13 +202,178 @@ class RunSpec:
         )
 
 
-def run_spec(spec: RunSpec) -> MulticoreResult:
-    """Execute one spec (pure function; also the worker-process entry)."""
+def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
+    """Execute one spec (pure function; also the worker-process entry).
+
+    ``audit`` (or ``spec.audit``, or ``REPRO_AUDIT=1``) runs the
+    invariant checker on the finished simulation so a violated physical
+    constraint surfaces as an ``invariant`` failure instead of a silently
+    wrong artifact in the cache.
+    """
+    maybe_inject(spec)
     traces = [
         profile(name).memory_trace(spec.instructions, spec.trace_llc, seed=spec.seed)
         for name in spec.workloads
     ]
-    return run_cores(traces, spec.config, record_events=spec.record_events)
+    do_audit = audit or spec.audit or _env_flag("REPRO_AUDIT")
+    return run_cores(traces, spec.config, record_events=spec.record_events, audit=do_audit)
+
+
+# --------------------------------------------------------------- policy
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "on", "true", "yes")
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number of seconds, got {raw!r}") from None
+    return value if value > 0 else None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs for one :func:`execute_plan` call.
+
+    Resolved, in order, from: the explicit ``policy=`` argument, the
+    process-wide override installed by :func:`set_execution_policy`
+    (the CLI boundary), and the ``REPRO_*`` environment variables.
+    """
+
+    #: total executions allowed per spec (first try + transient retries)
+    max_attempts: int = 3
+    #: base of the exponential backoff between retries, in seconds
+    backoff_s: float = 0.25
+    #: per-spec wall-clock limit; ``None`` disables (no effect at jobs=1,
+    #: where a spec cannot be preempted)
+    spec_timeout_s: float | None = None
+    #: collect failures and return partial results instead of raising
+    keep_going: bool = False
+    #: broken-pool rebuilds tolerated before degrading to in-process
+    max_pool_rebuilds: int = 5
+    #: invariant-audit every simulated result before it enters the cache
+    audit: bool = False
+
+    @classmethod
+    def from_env(cls) -> "ExecutionPolicy":
+        """Policy from ``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF`` /
+        ``REPRO_SPEC_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_AUDIT``."""
+        backoff = _env_float("REPRO_RETRY_BACKOFF", cls.backoff_s)
+        return cls(
+            max_attempts=_env_int("REPRO_RETRIES", cls.max_attempts),
+            backoff_s=backoff if backoff is not None else 0.0,
+            spec_timeout_s=_env_float("REPRO_SPEC_TIMEOUT", None),
+            keep_going=_env_flag("REPRO_KEEP_GOING"),
+            audit=_env_flag("REPRO_AUDIT"),
+        )
+
+
+_POLICY_OVERRIDE: ExecutionPolicy | None = None
+
+
+def set_execution_policy(policy: ExecutionPolicy | None) -> None:
+    """Install a process-wide policy (``None`` restores env control)."""
+    global _POLICY_OVERRIDE
+    _POLICY_OVERRIDE = policy
+
+
+def current_policy() -> ExecutionPolicy:
+    """The policy :func:`execute_plan` uses when none is passed."""
+    return _POLICY_OVERRIDE if _POLICY_OVERRIDE is not None else ExecutionPolicy.from_env()
+
+
+# --------------------------------------------------------- failure taxonomy
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec's final (post-retry) failure."""
+
+    key: str
+    workloads: tuple[str, ...]
+    #: taxonomy: ``transient`` | ``worker-lost`` | ``timeout`` |
+    #: ``invariant`` | ``error``
+    kind: str
+    exc_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.workloads)
+
+
+class PlanExecutionError(RuntimeError):
+    """Raised in fail-fast mode when any spec fails terminally.
+
+    Completed results were already flushed to the artifact cache, so
+    re-running the same plan resumes from the failure.
+    """
+
+    def __init__(self, failures: Iterable[SpecFailure]) -> None:
+        self.failures = tuple(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} spec(s) failed; first: {first.label} "
+            f"[{first.kind}] {first.exc_type}: {first.message}"
+        )
+
+
+#: exception types treated as transient (worth retrying)
+_TRANSIENT_TYPES = (
+    BrokenExecutor,  # worker death / broken pool
+    OSError,  # resource exhaustion, fork failures, fs hiccups
+    EOFError,  # torn pipe to a dying worker
+    pickle.PicklingError,
+    pickle.UnpicklingError,
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to the runner's failure taxonomy."""
+    if isinstance(exc, InvariantViolation):
+        return "invariant"
+    if isinstance(exc, BrokenExecutor):
+        return "worker-lost"
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return "transient"
+    return "error"
+
+
+def _is_retryable(kind: str) -> bool:
+    return kind in ("transient", "worker-lost")
+
+
+def _spec_failure(spec: RunSpec, exc: BaseException, kind: str, attempts: int) -> SpecFailure:
+    return SpecFailure(
+        key=spec.key,
+        workloads=spec.workloads,
+        kind=kind,
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(_traceback.format_exception(exc)),
+        attempts=attempts,
+    )
+
+
+# ----------------------------------------------------------------- stats
 
 
 @dataclass
@@ -163,9 +384,13 @@ class RunnerStats:
     unique: int = 0  #: distinct simulations after dedup
     memo_hits: int = 0  #: served from the in-process memo
     cache_hits: int = 0  #: served from the persistent artifact cache
-    executed: int = 0  #: actually simulated
+    executed: int = 0  #: specs that entered execution at least once
     jobs: int = 1  #: worker processes used
     wall_s: float = 0.0  #: wall-clock seconds for the whole plan
+    retries: int = 0  #: resubmissions after transient failures
+    timeouts: int = 0  #: specs killed at the per-spec timeout
+    failed: int = 0  #: specs that failed terminally (post-retry)
+    pool_rebuilds: int = 0  #: broken process pools replaced
 
     @property
     def hits(self) -> int:
@@ -186,12 +411,17 @@ class RunnerStats:
         self.executed += other.executed
         self.jobs = max(self.jobs, other.jobs)
         self.wall_s += other.wall_s
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failed += other.failed
+        self.pool_rebuilds += other.pool_rebuilds
 
 
 #: in-process L1 over the disk cache: spec key → result
 _RESULT_MEMO: dict[str, MulticoreResult] = {}
 _LAST_STATS = RunnerStats()
 _SESSION_STATS = RunnerStats()
+_LAST_FAILURES: tuple[SpecFailure, ...] = ()
 
 
 def clear_result_memo() -> None:
@@ -204,6 +434,11 @@ def last_stats() -> RunnerStats:
     return _LAST_STATS
 
 
+def last_failures() -> tuple[SpecFailure, ...]:
+    """Failure report of the most recent ``execute_plan`` call."""
+    return _LAST_FAILURES
+
+
 def session_stats() -> RunnerStats:
     """Counters accumulated over the whole process."""
     return _SESSION_STATS
@@ -212,14 +447,16 @@ def session_stats() -> RunnerStats:
 def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
 
-    ``REPRO_JOBS=0`` (or ``auto``) means one worker per CPU.
+    ``REPRO_JOBS=0`` (or ``auto``) means one worker per CPU.  A
+    malformed value raises :class:`ConfigError` (the CLI boundary turns
+    it into an exit message).
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
         try:
             jobs = 0 if raw == "auto" else int(raw or 1)
         except ValueError:
-            raise SystemExit(
+            raise ConfigError(
                 f"REPRO_JOBS must be an integer or 'auto', got {raw!r}"
             ) from None
     if jobs <= 0:
@@ -228,17 +465,353 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 
 class PlanResults:
-    """Results of an executed plan, indexed by :class:`RunSpec`."""
+    """Results of an executed plan, indexed by :class:`RunSpec`.
 
-    def __init__(self, by_key: dict[str, MulticoreResult], stats: RunnerStats) -> None:
+    In keep-going mode some specs may be missing: ``failures`` reports
+    them, :meth:`ok` checks for presence, and :meth:`get` returns a
+    default instead of raising.
+    """
+
+    def __init__(
+        self,
+        by_key: dict[str, MulticoreResult],
+        stats: RunnerStats,
+        failures: tuple[SpecFailure, ...] = (),
+    ) -> None:
         self._by_key = by_key
         self.stats = stats
+        self.failures = failures
 
     def __getitem__(self, spec: RunSpec) -> MulticoreResult:
         return self._by_key[spec.key]
 
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.key in self._by_key
+
     def __len__(self) -> int:
         return len(self._by_key)
+
+    def get(self, spec: RunSpec, default=None):
+        """Result for ``spec``, or ``default`` when it failed."""
+        return self._by_key.get(spec.key, default)
+
+    def ok(self, *specs: RunSpec) -> bool:
+        """Whether every given spec produced a result."""
+        return all(s.key in self._by_key for s in specs)
+
+    def failure_for(self, spec: RunSpec) -> SpecFailure | None:
+        """The failure record for ``spec``, if it failed."""
+        for f in self.failures:
+            if f.key == spec.key:
+                return f
+        return None
+
+
+# ------------------------------------------------------------ the engine
+
+
+class _Interrupted(Exception):
+    """Internal: a SIGINT/SIGTERM arrived; unwind after persisting."""
+
+
+def _worker_init() -> None:
+    """Worker-process signal hygiene.
+
+    Workers must not inherit the parent's graceful-drain handlers (a
+    forked child would otherwise swallow the ``terminate()`` used to
+    reclaim hung workers), and they ignore ``SIGINT`` so a terminal
+    Ctrl-C reaches only the parent, which drains and persists.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class _PlanRunner:
+    """Drives one plan's cache misses to completion, fault-tolerantly."""
+
+    def __init__(
+        self,
+        todo: list[tuple[str, RunSpec]],
+        jobs: int,
+        policy: ExecutionPolicy,
+        cache,
+        stats: RunnerStats,
+    ) -> None:
+        self.specs: dict[str, RunSpec] = dict(todo)
+        self.queue: deque[str] = deque(k for k, _ in todo)
+        #: specs rerun one at a time after a pool break, to isolate the
+        #: culprit: only the poisonous spec can break the fresh pool again
+        self.suspects: deque[str] = deque()
+        self.jobs = jobs
+        self.policy = policy
+        self.cache = cache
+        self.stats = stats
+        self.attempts: dict[str, int] = {k: 0 for k, _ in todo}
+        self.needs_backoff: set[str] = set()
+        self.results: dict[str, MulticoreResult] = {}
+        self.failures: dict[str, SpecFailure] = {}
+        self.pool: ProcessPoolExecutor | None = None
+        self.pending: dict[Future, str] = {}
+        self.deadlines: dict[Future, float] = {}
+        self.aborted = False  # fail-fast tripped
+        self.interrupted: str | None = None  # signal name
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _record_success(self, key: str, result: MulticoreResult) -> None:
+        self.results[key] = result
+        _RESULT_MEMO[key] = result
+        # flush immediately: a later crash or kill must not lose this
+        self.cache.put(key, result)
+
+    def _record_failure(self, key: str, exc: BaseException, kind: str) -> None:
+        if kind == "timeout":
+            self.stats.timeouts += 1
+        self.failures[key] = _spec_failure(self.specs[key], exc, kind, self.attempts[key])
+        self.stats.failed += 1
+        if not self.policy.keep_going:
+            self.aborted = True
+
+    def _backoff(self, key: str) -> None:
+        """Exponential backoff before a retry (attempt n sleeps ~base·2ⁿ⁻¹)."""
+        if self.policy.backoff_s > 0:
+            time.sleep(min(self.policy.backoff_s * 2 ** (self.attempts[key] - 1), 2.0))
+
+    def _should_retry(self, key: str, kind: str) -> bool:
+        return _is_retryable(kind) and self.attempts[key] < self.policy.max_attempts
+
+    # -- sequential engine (jobs=1 and the degraded-pool fallback) ----------
+
+    def run_sequential(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            if self.aborted or self.interrupted:
+                break
+            spec = self.specs[key]
+            while True:
+                self.attempts[key] += 1
+                try:
+                    result = run_spec(spec, audit=self.policy.audit)
+                except KeyboardInterrupt:
+                    self.interrupted = "SIGINT"
+                    return
+                except Exception as exc:
+                    kind = classify_failure(exc)
+                    if self._should_retry(key, kind):
+                        self.stats.retries += 1
+                        self._backoff(key)
+                        continue
+                    self._record_failure(key, exc, kind)
+                    break
+                else:
+                    self._record_success(key, result)
+                    break
+
+    # -- parallel engine ----------------------------------------------------
+
+    def run_parallel(self) -> None:
+        with self._signal_guard():
+            self.pool = self._new_pool()
+            try:
+                while (self.queue or self.suspects or self.pending) and not self.aborted:
+                    if self.interrupted:
+                        raise _Interrupted
+                    if self.pool is None:
+                        # the pool broke too many times: finish in-process
+                        remaining = list(self.suspects) + list(self.queue)
+                        self.suspects.clear()
+                        self.queue.clear()
+                        self.run_sequential(remaining)
+                        break
+                    self._dispatch()
+                    if not self.pending:
+                        continue
+                    done, _ = wait(
+                        set(self.pending), timeout=self._wait_timeout(),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for fut in done:
+                        if fut in self.pending:  # a pool break may clear it
+                            self._harvest(fut)
+                    self._check_deadlines()
+            except _Interrupted:
+                pass
+            finally:
+                self._shutdown_pool(kill=bool(self.pending))
+                self.pending.clear()
+                self.deadlines.clear()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        remaining = len(self.queue) + len(self.suspects) + len(self.pending)
+        return ProcessPoolExecutor(
+            max_workers=max(1, min(self.jobs, remaining)), initializer=_worker_init
+        )
+
+    def _shutdown_pool(self, *, kill: bool) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        if kill:
+            # a hung or poisoned worker never returns: kill outright
+            # (SIGKILL — a stuck worker may not honour anything milder;
+            # private attribute, but the only way to reclaim the worker)
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            for proc in procs:
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            for proc in procs:
+                try:
+                    proc.join(timeout=5)
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _dispatch(self) -> None:
+        """Fill worker slots; suspects run strictly one at a time."""
+        while True:
+            if self.suspects:
+                if self.pending:
+                    return  # serial isolation: wait for the lone flight
+                key = self.suspects.popleft()
+            elif self.queue and len(self.pending) < self.jobs:
+                key = self.queue.popleft()
+            else:
+                return
+            if key in self.needs_backoff:
+                self.needs_backoff.discard(key)
+                self._backoff(key)
+            self.attempts[key] += 1
+            try:
+                fut = self.pool.submit(run_spec, self.specs[key], self.policy.audit)
+            except (BrokenExecutor, RuntimeError) as exc:
+                # the pool died between harvest and submit
+                self.attempts[key] -= 1
+                self._requeue_front(key)
+                self._handle_pool_break(exc)
+                return
+            self.pending[fut] = key
+            if self.policy.spec_timeout_s is not None:
+                self.deadlines[fut] = time.monotonic() + self.policy.spec_timeout_s
+
+    def _requeue_front(self, key: str) -> None:
+        (self.suspects if self.suspects else self.queue).appendleft(key)
+
+    def _wait_timeout(self) -> float:
+        """Poll interval: next deadline if timeouts are armed, else 0.5 s
+        (short enough to notice signals promptly)."""
+        if self.deadlines:
+            nearest = min(self.deadlines.values()) - time.monotonic()
+            return max(0.01, min(nearest, 0.5))
+        return 0.5
+
+    def _harvest(self, fut: Future) -> None:
+        key = self.pending.pop(fut)
+        self.deadlines.pop(fut, None)
+        try:
+            result = fut.result()
+        except BrokenExecutor as exc:
+            # one dead worker breaks the whole executor: every in-flight
+            # spec fails collaterally, so handle them all at once
+            self._handle_pool_break(exc, casualty=key)
+        except Exception as exc:
+            kind = classify_failure(exc)
+            if self._should_retry(key, kind):
+                self.stats.retries += 1
+                self.needs_backoff.add(key)
+                self.queue.append(key)
+            else:
+                self._record_failure(key, exc, kind)
+        else:
+            self._record_success(key, result)
+
+    def _handle_pool_break(self, exc: BaseException, casualty: str | None = None) -> None:
+        """Replace a broken pool; casualties retry serially (culprit isolation)."""
+        self.stats.pool_rebuilds += 1
+        casualties = [casualty] if casualty is not None else []
+        casualties.extend(self.pending.values())
+        self.pending.clear()
+        self.deadlines.clear()
+        self._shutdown_pool(kill=True)
+        for key in casualties:
+            # every casualty keeps its attempt: the culprit is unknown, and
+            # serial re-execution lets innocents succeed on the next try
+            if self._should_retry(key, "worker-lost"):
+                self.stats.retries += 1
+                self.needs_backoff.add(key)
+                self.suspects.append(key)
+            else:
+                self._record_failure(key, exc, "worker-lost")
+        if self.aborted:
+            return
+        if self.stats.pool_rebuilds <= self.policy.max_pool_rebuilds:
+            self.pool = self._new_pool()
+        # else: pool stays None and run_parallel degrades to in-process
+
+    def _check_deadlines(self) -> None:
+        if not self.deadlines:
+            return
+        now = time.monotonic()
+        expired = [fut for fut, dl in self.deadlines.items() if dl <= now and not fut.done()]
+        if not expired:
+            return
+        # harvest whatever finished first, then abandon the stuck pool
+        for fut in [f for f in list(self.pending) if f.done()]:
+            self._harvest(fut)
+        expired = [f for f in expired if f in self.pending]
+        if not expired:
+            return
+        timeout_s = self.policy.spec_timeout_s
+        for fut in expired:
+            key = self.pending.pop(fut)
+            self.deadlines.pop(fut, None)
+            exc = TimeoutError(f"spec exceeded --spec-timeout of {timeout_s:g}s")
+            self._record_failure(key, exc, "timeout")
+        # innocents that shared the killed pool go back unpenalized
+        for fut, key in list(self.pending.items()):
+            self.attempts[key] -= 1
+            self.queue.appendleft(key)
+        self.pending.clear()
+        self.deadlines.clear()
+        self.stats.pool_rebuilds += 1
+        self._shutdown_pool(kill=True)
+        if not self.aborted:
+            if self.stats.pool_rebuilds <= self.policy.max_pool_rebuilds:
+                self.pool = self._new_pool()
+
+    # -- signals ------------------------------------------------------------
+
+    def _signal_guard(self):
+        runner = self
+
+        class _Guard:
+            def __enter__(self):
+                self.saved = {}
+                if threading.current_thread() is not threading.main_thread():
+                    return self  # signal handlers only work on the main thread
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        self.saved[sig] = signal.signal(sig, self._on_signal)
+                    except (ValueError, OSError):  # pragma: no cover
+                        pass
+                return self
+
+            def _on_signal(self, signum, frame):
+                if runner.interrupted:  # second signal: give up immediately
+                    raise KeyboardInterrupt
+                runner.interrupted = signal.Signals(signum).name
+
+            def __exit__(self, *exc):
+                for sig, handler in self.saved.items():
+                    try:
+                        signal.signal(sig, handler)
+                    except (ValueError, OSError):  # pragma: no cover
+                        pass
+
+        return _Guard()
 
 
 def execute_plan(
@@ -246,6 +819,7 @@ def execute_plan(
     *,
     jobs: int | None = None,
     cache=None,
+    policy: ExecutionPolicy | None = None,
 ) -> PlanResults:
     """Run every spec (deduplicated, cached, parallel) and map results.
 
@@ -253,11 +827,20 @@ def execute_plan(
     legacy sequential path.  ``jobs>1`` fans cache misses out over a
     process pool; results are identical because every simulation is a
     pure function of its spec.
+
+    Failure semantics follow ``policy`` (see :class:`ExecutionPolicy`):
+    by default the first terminal failure raises
+    :class:`PlanExecutionError`; with ``keep_going`` the returned
+    :class:`PlanResults` carries partial results plus ``failures``.
+    Either way, every completed result was already flushed to the
+    artifact cache, so re-running the same plan resumes where it
+    stopped — only missing specs simulate.
     """
-    global _LAST_STATS
+    global _LAST_STATS, _LAST_FAILURES
     t0 = time.perf_counter()
     spec_list = list(specs.specs if isinstance(specs, RunPlan) else specs)
     jobs = resolve_jobs(jobs)
+    policy = current_policy() if policy is None else policy
     cache = get_cache() if cache is None else cache
 
     unique: dict[str, RunSpec] = {}
@@ -281,22 +864,35 @@ def execute_plan(
             continue
         todo.append((key, spec))
 
+    failures: tuple[SpecFailure, ...] = ()
+    interrupted: str | None = None
     if todo:
-        stats.executed = len(todo)
+        runner = _PlanRunner(todo, jobs, policy, cache, stats)
         if jobs > 1 and len(todo) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                computed = list(pool.map(run_spec, [s for _, s in todo]))
+            runner.run_parallel()
         else:
-            computed = [run_spec(s) for _, s in todo]
-        for (key, spec), result in zip(todo, computed):
-            results[key] = result
-            _RESULT_MEMO[key] = result
-            cache.put(key, result)
+            runner.run_sequential([k for k, _ in todo])
+        results.update(runner.results)
+        failures = tuple(runner.failures.values())
+        interrupted = runner.interrupted
+        stats.executed = sum(1 for n in runner.attempts.values() if n > 0)
 
     stats.wall_s = time.perf_counter() - t0
     _LAST_STATS = stats
     _SESSION_STATS.absorb(stats)
-    return PlanResults(results, stats)
+    _LAST_FAILURES = failures
+
+    if interrupted:
+        print(
+            f"repro: {interrupted} — {len(results)}/{stats.unique} unique results "
+            f"persisted to the artifact cache; re-run the same command to resume "
+            f"(only missing specs will simulate)",
+            file=sys.stderr,
+        )
+        raise KeyboardInterrupt(f"plan interrupted by {interrupted}")
+    if failures and not policy.keep_going:
+        raise PlanExecutionError(failures)
+    return PlanResults(results, stats, failures)
 
 
 class RunPlan:
@@ -326,6 +922,12 @@ class RunPlan:
     def __len__(self) -> int:
         return len(self.specs)
 
-    def execute(self, *, jobs: int | None = None, cache=None) -> PlanResults:
+    def execute(
+        self,
+        *,
+        jobs: int | None = None,
+        cache=None,
+        policy: ExecutionPolicy | None = None,
+    ) -> PlanResults:
         """Execute the declared grid (dedup → cache → parallel fan-out)."""
-        return execute_plan(self, jobs=jobs, cache=cache)
+        return execute_plan(self, jobs=jobs, cache=cache, policy=policy)

@@ -56,6 +56,8 @@ def fig1_refresh_overheads(
     results = plan.execute(jobs=jobs)
     rows = []
     for name, (base_spec, ideal_spec) in grid.items():
+        if not results.ok(base_spec, ideal_spec):
+            continue  # keep-going: this benchmark lost a spec, skip its row
         base, ideal = results[base_spec], results[ideal_spec]
         base_e = system_energy(base.stats, cfg)
         ideal_e = system_energy(ideal.stats, ideal_cfg)
@@ -111,6 +113,8 @@ def fig2_to_4_and_table1(
     results = plan.execute(jobs=jobs)
     rows = []
     for name, spec in specs.items():
+        if not results.ok(spec):
+            continue  # keep-going: benchmark failed, report has no row
         events = results[spec].events[(0, 0)]
         windows = {
             mult: analyze_rank(events, int(refi * mult)) for mult in window_mults
@@ -166,6 +170,8 @@ def fig7_8_9_rop_comparison(
     results = plan.execute(jobs=jobs)
     rows = []
     for name, (base_spec, ideal_spec, rop_specs) in grid.items():
+        if not results.ok(base_spec, ideal_spec, *rop_specs.values()):
+            continue  # keep-going: a system run failed, skip the benchmark
         base, ideal = results[base_spec], results[ideal_spec]
         base_e = system_energy(base.stats, cfg)
         ideal_e = system_energy(ideal.stats, ideal_cfg)

@@ -38,12 +38,25 @@ class RequestLog:
 
     Attach with ``log.attach(memory_system)`` *before* submitting traffic;
     it wraps the controller's submit path to capture every request object.
+    ``attach`` returns the log, and the log is a context manager, so the
+    patch is always undone::
+
+        with RequestLog().attach(ms) as log:
+            ...drive traffic...
+        check_run(log, ms)
+
+    Call :meth:`detach` (idempotent) to restore the controller's original
+    ``submit`` outside a ``with`` block.
     """
 
     requests: list[Request] = field(default_factory=list)
+    #: (controller, original submit) while attached, else None
+    _attached: tuple | None = field(default=None, repr=False, compare=False)
 
-    def attach(self, memory_system) -> None:
+    def attach(self, memory_system) -> "RequestLog":
         """Start capturing every request submitted to ``memory_system``."""
+        if self._attached is not None:
+            raise RuntimeError("RequestLog is already attached; detach() first")
         controller = memory_system.controller
         original = controller.submit
 
@@ -53,6 +66,21 @@ class RequestLog:
             return req
 
         controller.submit = wrapped  # type: ignore[method-assign]
+        self._attached = (controller, original)
+        return self
+
+    def detach(self) -> None:
+        """Restore the controller's original ``submit`` (idempotent)."""
+        if self._attached is not None:
+            controller, original = self._attached
+            controller.submit = original  # type: ignore[method-assign]
+            self._attached = None
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     @property
     def reads(self) -> list[Request]:

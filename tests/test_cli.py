@@ -84,3 +84,76 @@ def test_fig_reports_runner_stats(capsys):
     out = capsys.readouterr().out
     assert "AVERAGE" in out
     assert "runner:" in out and "jobs=1" in out
+
+
+def test_parser_fault_tolerance_flags():
+    args = build_parser().parse_args(
+        ["fig", "1", "gobmk", "--spec-timeout", "30", "--retries", "5",
+         "--keep-going", "--audit"]
+    )
+    assert args.spec_timeout == 30.0
+    assert args.retries == 5
+    assert args.keep_going is True and args.fail_fast is False
+    with pytest.raises(SystemExit):  # --keep-going and --fail-fast conflict
+        build_parser().parse_args(["fig", "1", "x", "--keep-going", "--fail-fast"])
+
+
+def test_flags_install_execution_policy():
+    from argparse import Namespace
+
+    from repro.cli import _runner_opts
+    from repro.harness import current_policy, set_execution_policy
+
+    try:
+        jobs = _runner_opts(Namespace(no_cache=False, jobs=3, spec_timeout=90.0,
+                                      retries=4, keep_going=True, fail_fast=False,
+                                      audit=True))
+        assert jobs == 3
+        policy = current_policy()
+        assert policy.spec_timeout_s == 90.0
+        assert policy.max_attempts == 4
+        assert policy.keep_going and policy.audit
+    finally:
+        set_execution_policy(None)
+
+
+def test_bad_repro_jobs_exits_2(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    assert main(["fig", "1", "gobmk", "--instructions", "120000", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS" in err
+    from repro.harness import set_cache_enabled
+
+    set_cache_enabled(None)
+
+
+def test_fail_fast_exits_1_with_report(tmp_path, monkeypatch, capsys):
+    import json
+
+    faults = tmp_path / "faults.json"
+    faults.write_text(json.dumps({"gobmk": {"mode": "error", "message": "kaboom"}}))
+    monkeypatch.setenv("REPRO_FAULTS", str(faults))
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    from repro.harness.runner import clear_result_memo
+
+    clear_result_memo()
+    assert main(["fig", "1", "gobmk", "--instructions", "120000"]) == 1
+    err = capsys.readouterr().err
+    assert "gobmk" in err and "kaboom" in err
+
+
+def test_keep_going_renders_survivors_and_failures(tmp_path, monkeypatch, capsys):
+    import json
+
+    faults = tmp_path / "faults.json"
+    faults.write_text(json.dumps({"gobmk": {"mode": "error"}}))
+    monkeypatch.setenv("REPRO_FAULTS", str(faults))
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    from repro.harness.runner import clear_result_memo
+
+    clear_result_memo()
+    assert main(["fig", "1", "gobmk", "lbm", "--instructions", "120000",
+                 "--keep-going"]) == 0
+    captured = capsys.readouterr()
+    assert "lbm" in captured.out          # the surviving benchmark rendered
+    assert "spec(s) failed" in captured.err  # and the failure was listed

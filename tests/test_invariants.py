@@ -71,6 +71,37 @@ def test_alt_refresh_mode_invariants(workload, mode):
     check_run(log, ms, check_refresh=False)
 
 
+def test_attach_detach_restores_submit():
+    ms = MemorySystem(SystemConfig.single_core())
+    original = ms.controller.submit
+    log = RequestLog().attach(ms)
+    assert ms.controller.submit != original
+    log.detach()
+    # bound methods compare equal (same function, same instance)
+    assert ms.controller.submit == original
+    log.detach()  # idempotent
+
+
+def test_attach_twice_rejected():
+    ms = MemorySystem(SystemConfig.single_core())
+    log = RequestLog().attach(ms)
+    with pytest.raises(RuntimeError):
+        log.attach(ms)
+    log.detach()
+
+
+def test_context_manager_detaches():
+    ms = MemorySystem(SystemConfig.single_core())
+    original = ms.controller.submit
+    with RequestLog().attach(ms) as log:
+        ms.schedule_read(0, 5)
+        ms.run()
+        ms.finish()
+    assert ms.controller.submit == original
+    assert len(log.requests) == 1
+    check_run(log, ms)
+
+
 def test_violation_detected():
     """The checker itself must catch a fabricated violation."""
     ms, log = replay(SystemConfig.single_core(), [(0, 5, False)])
