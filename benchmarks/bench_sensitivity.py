@@ -7,7 +7,6 @@ a predictable intensive stream and checks the choices are *robust*: small
 parameter changes must not change the outcome materially.
 """
 
-import pytest
 from conftest import run_once
 
 from repro import SystemConfig, WindowBase

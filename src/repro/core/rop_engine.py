@@ -22,11 +22,19 @@ from dataclasses import dataclass
 from ..config import SystemConfig
 from ..dram.request import Request
 from ..rng import make_rng
+from ..telemetry import NULL_SINK, Category, Kind, PhaseCode, SkipReason
 from .prediction_table import PredictionTable
 from .prefetcher import Prefetcher
 from .profiler import LambdaBeta, PatternProfiler
 from .sram_buffer import SramBuffer
 from .state_machine import RopState, RopStateMachine
+
+#: RopState → PhaseCode for trace events
+_PHASE_CODE = {
+    RopState.TRAINING: PhaseCode.TRAINING,
+    RopState.OBSERVING: PhaseCode.OBSERVING,
+    RopState.PREFETCHING: PhaseCode.PREFETCHING,
+}
 
 __all__ = ["RopEngine", "LockRecord"]
 
@@ -95,8 +103,33 @@ class RopEngine:
         self._controller = None
         self._refresh_mgr = None
         self._mapper = None
+        self.sink = NULL_SINK
+        self._t_rop = False
+        #: cycle of the most recent hook call; stamps events (retrains,
+        #: phase changes) raised from paths that carry no cycle argument
+        self._now = 0
 
     # ------------------------------------------------------------------ binding
+
+    def set_sink(self, sink) -> None:
+        """Attach a telemetry sink; ROP-category events flow when enabled."""
+        self.sink = sink if sink is not None else NULL_SINK
+        self._t_rop = self.sink.wants(Category.ROP)
+        self.buffer.set_sink(self.sink)
+        if self._t_rop:
+            self.sm.on_transition = self._on_phase_change
+            # open the initial phase span so the exporter sees Training
+            # from cycle 0
+            self.sink.emit(
+                Category.ROP, Kind.PHASE, 0, a=int(_PHASE_CODE[self.sm.state])
+            )
+        else:
+            self.sm.on_transition = None
+
+    def _on_phase_change(self, old: RopState, new: RopState) -> None:
+        self.sink.emit(
+            Category.ROP, Kind.PHASE, self._now, a=int(_PHASE_CODE[new])
+        )
 
     def bind(self, controller) -> None:
         """Attach to the controller whose traffic this engine observes."""
@@ -121,6 +154,8 @@ class RopEngine:
 
     def on_request(self, req: Request, cycle: int) -> None:
         """Observe one demand request (controller hook)."""
+        if self._t_rop:
+            self._now = cycle
         self._close_stale_locks(cycle)
         key = (req.coord.channel, req.coord.rank)
         self.profilers[key].on_request(cycle, req.is_read)
@@ -136,7 +171,7 @@ class RopEngine:
 
     def on_sram_hit(self, req: Request, cycle: int, in_lock: bool) -> None:
         """A read was serviced from the buffer (controller hook)."""
-        self.buffer.consume(req.line)
+        self.buffer.consume(req.line, cycle)
         if in_lock:
             rec = self._find_lock(req.coord.channel, req.coord.rank, cycle)
             if rec is not None:
@@ -148,12 +183,14 @@ class RopEngine:
         if rec is not None:
             rec.arrivals += 1
 
-    def invalidate_line(self, line: int) -> None:
+    def invalidate_line(self, line: int, cycle: int = -1) -> None:
         """A demand write made a buffered line stale (controller hook)."""
-        self.buffer.invalidate(line)
+        self.buffer.invalidate(line, cycle)
 
     def plan_prefetch(self, channel: int, rank: int, cycle: int) -> list[int]:
         """Lines to prefetch for the refresh about to start (controller hook)."""
+        if self._t_rop:
+            self._now = cycle
         self._close_stale_locks(cycle)
         if self.sm.is_training:
             return []
@@ -162,11 +199,13 @@ class RopEngine:
             self.pressure_skips += 1
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
+            self._emit_skip(channel, rank, cycle, SkipReason.BUS_PRESSURE)
             return []
         b_count = self.profilers[key].count_in_window(cycle)
         if not self.prefetcher.decide(b_count, self.lam_beta[key]):
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
+            self._emit_skip(channel, rank, cycle, SkipReason.THROTTLE)
             return []
         self.sm.begin_prefetch()
         lines = self.prefetcher.candidate_lines(
@@ -179,17 +218,53 @@ class RopEngine:
             self.sm.end_prefetch()
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
+            self._emit_skip(channel, rank, cycle, SkipReason.NO_CANDIDATES)
+        elif self._t_rop:
+            self.sink.emit(
+                Category.ROP,
+                Kind.PREFETCH_PLAN,
+                cycle,
+                channel,
+                rank,
+                a=len(lines),
+                b=b_count,
+            )
         return lines
+
+    def _emit_skip(self, channel: int, rank: int, cycle: int, reason: SkipReason) -> None:
+        if self._t_rop:
+            self.sink.emit(
+                Category.ROP,
+                Kind.PREFETCH_SKIP,
+                cycle,
+                channel,
+                rank,
+                a=int(reason),
+            )
 
     def on_prefetch_fill(self, channel: int, rank: int, lines: list[int], cycle: int) -> None:
         """Prefetched lines landed in the buffer (controller hook)."""
+        if self._t_rop:
+            self._now = cycle
         self._close_tenure()
-        stored = self.buffer.refill((channel, rank), lines)
+        stored = self.buffer.refill((channel, rank), lines, cycle)
         self._tenure = (stored, self.buffer.hits)
+        if self._t_rop:
+            self.sink.emit(
+                Category.ROP,
+                Kind.PREFETCH_FILL,
+                cycle,
+                channel,
+                rank,
+                a=stored,
+                b=len(lines),
+            )
         self.sm.end_prefetch()
 
     def on_refresh_executed(self, channel: int, rank: int, start: int, end: int) -> None:
         """A refresh lock [start, end) began (controller hook)."""
+        if self._t_rop:
+            self._now = start
         key = (channel, rank)
         if self.sm.is_training:
             self.profilers[key].on_refresh(start)
@@ -295,6 +370,10 @@ class RopEngine:
 
     def _on_retrain(self) -> None:
         """Hit rate collapsed: re-enter Training with fresh profiles."""
+        if self._t_rop:
+            self.sink.emit(
+                Category.ROP, Kind.RETRAIN, self._now, a=self.sm.retrain_count
+            )
         self.buffer.flush()
         self._tenure = None
         for key in self.profilers:
@@ -309,5 +388,14 @@ class RopEngine:
             for p in self.profilers.values()
         ):
             for key, prof in self.profilers.items():
-                self.lam_beta[key] = prof.lambda_beta()
+                lb = prof.lambda_beta()
+                self.lam_beta[key] = lb
+                if self._t_rop and lb is not None:
+                    ch, rk = key
+                    self.sink.emit(
+                        Category.ROP, Kind.LAMBDA, cycle, ch, rk, f=lb.lam
+                    )
+                    self.sink.emit(
+                        Category.ROP, Kind.BETA, cycle, ch, rk, f=lb.beta
+                    )
             self.sm.complete_training()

@@ -11,15 +11,26 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..telemetry import NULL_SINK, Category, Kind
+
 __all__ = ["SramBuffer"]
 
 
 class SramBuffer:
     """Fixed-capacity, fully-associative line buffer."""
 
-    __slots__ = ("capacity", "_lines", "owner", "fills", "hits", "invalidations")
+    __slots__ = (
+        "capacity",
+        "_lines",
+        "owner",
+        "fills",
+        "hits",
+        "invalidations",
+        "sink",
+        "_t_sram",
+    )
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, sink=None) -> None:
         if capacity <= 0:
             raise ValueError(f"SRAM capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -29,6 +40,12 @@ class SramBuffer:
         self.fills = 0
         self.hits = 0
         self.invalidations = 0
+        self.set_sink(sink)
+
+    def set_sink(self, sink) -> None:
+        """Attach a telemetry sink (SRAM-category events)."""
+        self.sink = sink if sink is not None else NULL_SINK
+        self._t_sram = self.sink.wants(Category.SRAM)
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -40,14 +57,16 @@ class SramBuffer:
         """True if ``line`` is buffered (does not count a hit)."""
         return line in self._lines
 
-    def consume(self, line: int) -> bool:
+    def consume(self, line: int, cycle: int = -1) -> bool:
         """Service a read: returns True and counts a hit if buffered."""
         if line in self._lines:
             self.hits += 1
+            if self._t_sram:
+                self.sink.emit(Category.SRAM, Kind.SRAM_HIT, cycle, a=line)
             return True
         return False
 
-    def refill(self, owner: tuple[int, int], lines: Iterable[int]) -> int:
+    def refill(self, owner: tuple[int, int], lines: Iterable[int], cycle: int = -1) -> int:
         """Flush and load prefetched ``lines`` (truncated to capacity).
 
         Returns the number of lines actually stored.
@@ -59,13 +78,24 @@ class SramBuffer:
             self._lines.add(line)
         self.owner = owner
         self.fills += len(self._lines)
+        if self._t_sram:
+            self.sink.emit(
+                Category.SRAM,
+                Kind.SRAM_FILL,
+                cycle,
+                owner[0],
+                owner[1],
+                a=len(self._lines),
+            )
         return len(self._lines)
 
-    def invalidate(self, line: int) -> bool:
+    def invalidate(self, line: int, cycle: int = -1) -> bool:
         """Drop ``line`` (a demand write made it stale). True if present."""
         if line in self._lines:
             self._lines.discard(line)
             self.invalidations += 1
+            if self._t_sram:
+                self.sink.emit(Category.SRAM, Kind.SRAM_INVALIDATE, cycle, a=line)
             return True
         return False
 

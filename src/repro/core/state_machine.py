@@ -49,6 +49,9 @@ class RopStateMachine:
         self.min_buffer_utilization = min_buffer_utilization
         self.training_backoff_cap = max(1, training_backoff_cap)
         self.state = RopState.TRAINING
+        #: optional observer called with ``(old_state, new_state)`` on every
+        #: transition (telemetry hook; exceptions propagate)
+        self.on_transition = None
         self._training_seen = 0
         #: multiplier applied to the next training length (backoff)
         self._backoff = 1
@@ -79,7 +82,7 @@ class RopStateMachine:
         """Force the Training → Observing transition (multi-rank drivers
         complete training when every rank's profiler is full)."""
         if self.state is RopState.TRAINING:
-            self.state = RopState.OBSERVING
+            self._move_to(RopState.OBSERVING)
             self.phases_completed += 1
             self._training_seen = 0
 
@@ -93,12 +96,12 @@ class RopStateMachine:
     def begin_prefetch(self) -> None:
         """Enter the transient Prefetching state for one refresh."""
         if self.state is RopState.OBSERVING:
-            self.state = RopState.PREFETCHING
+            self._move_to(RopState.PREFETCHING)
 
     def end_prefetch(self) -> None:
         """Return to Observing after the refresh lock is armed."""
         if self.state is RopState.PREFETCHING:
-            self.state = RopState.OBSERVING
+            self._move_to(RopState.OBSERVING)
 
     def on_lock_outcome(self, arrivals: int, hits: int) -> bool:
         """Feed one armed lock's result; returns True if retraining triggered.
@@ -155,8 +158,13 @@ class RopStateMachine:
         """True while profiling (buffer off, no prefetching)."""
         return self.state is RopState.TRAINING
 
+    def _move_to(self, new: RopState) -> None:
+        old, self.state = self.state, new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
+
     def _retrain(self) -> None:
-        self.state = RopState.TRAINING
+        self._move_to(RopState.TRAINING)
         self._training_seen = 0
         self._recent.clear()
         self._recent_util.clear()

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..config import AddressMapScheme, SystemConfig
 from ..stats.collectors import ControllerStats
+from ..telemetry import MetricsRegistry, TraceSink
 from ..workloads.trace import AccessTrace
 from ..dram.memory_system import MemorySystem
 from .core import Core
@@ -41,6 +42,8 @@ class MulticoreResult:
     rop_summary: dict | None
     #: per-(channel, rank) event records when ``record_events`` was set
     events: dict | None = None
+    #: :class:`~repro.telemetry.MetricsRegistry` snapshot for this run
+    metrics: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -86,6 +89,7 @@ def run_cores(
     place: bool = True,
     max_cycles: int | None = None,
     audit: bool = False,
+    sink: TraceSink | None = None,
 ) -> MulticoreResult:
     """Run one co-simulation of ``traces`` (one per core) and return results.
 
@@ -97,8 +101,11 @@ def run_cores(
     simulation, raising ``InvariantViolation`` instead of returning a
     physically impossible result.  The audit never changes the result:
     lock/refresh checks additionally need ``record_events=True``.
+
+    ``sink`` wires a telemetry :class:`~repro.telemetry.TraceSink` through
+    the memory system; it never changes the simulation outcome.
     """
-    memory = MemorySystem(config, record_events=record_events)
+    memory = MemorySystem(config, record_events=record_events, sink=sink)
     log = None
     if audit:
         from ..stats.invariants import RequestLog
@@ -140,10 +147,12 @@ def run_cores(
         )
         for c in cores
     )
+    rop_summary = memory.rop_summary()
     return MulticoreResult(
         cores=results,
         stats=stats,
         end_cycle=memory.now,
-        rop_summary=memory.rop_summary(),
+        rop_summary=rop_summary,
         events=memory.recorder.all_events() if memory.recorder is not None else None,
+        metrics=MetricsRegistry.from_run(stats, results, rop_summary).snapshot(),
     )

@@ -13,7 +13,7 @@ ROP hook protocol (duck-typed; implemented by
 hook                                     called when
 =======================================  =====================================
 ``on_request(req, cycle)``               every demand request is submitted
-``invalidate_line(line)``                a demand write is submitted
+``invalidate_line(line, cycle)``         a demand write is submitted
 ``sram_lookup(line) -> bool``            scheduler probes the SRAM buffer
 ``on_sram_hit(req, cycle, in_lock)``     a read is serviced from the buffer
 ``on_read_arrival_in_lock(ch, rk, cy)``  a read arrives at a frozen rank
@@ -26,12 +26,12 @@ hook                                     called when
 
 from __future__ import annotations
 
-from dataclasses import replace as dc_replace
 from typing import Callable
 
 from ..config import SystemConfig
 from ..events import EventQueue
-from ..stats.collectors import ControllerStats, EventRecorder
+from ..stats.collectors import ControllerStats
+from ..telemetry import NULL_SINK, Category, Kind
 from .address_mapping import AddressMapper
 from .bank import AccessPlan
 from .rank import Rank
@@ -65,16 +65,21 @@ class MemoryController:
         config: SystemConfig,
         events: EventQueue,
         rop=None,
-        recorder: EventRecorder | None = None,
+        sink=None,
     ) -> None:
         self.cfg = config
         self.t = config.effective_timings()
         self.events = events
         self.rop = rop
-        self.recorder = recorder
+        self.sink = sink if sink is not None else NULL_SINK
+        # per-category capture flags, cached so the disabled hot path pays
+        # one local boolean test per potential event
+        self._t_req = self.sink.wants(Category.REQUEST)
+        self._t_svc = self.sink.wants(Category.SERVICE)
+        self._t_ref = self.sink.wants(Category.REFRESH)
         org = config.organization
         self.mapper = AddressMapper(org, config.address_map)
-        self.refresh_mgr = RefreshManager(config.refresh, self.t, org)
+        self.refresh_mgr = RefreshManager(config.refresh, self.t, org, sink=self.sink)
         self.channels = [_Channel(org.ranks, org.banks) for _ in range(org.channels)]
         self.read_q: list[list[Request]] = [[] for _ in range(org.channels)]
         self.write_q: list[list[Request]] = [[] for _ in range(org.channels)]
@@ -118,10 +123,15 @@ class MemoryController:
             self.stats.writes += 1
             self.write_q[coord.channel].append(req)
             if self.rop is not None:
-                self.rop.invalidate_line(line)
-        if self.recorder is not None:
-            self.recorder.on_request(
-                coord.channel, coord.rank, cycle, kind is ReqKind.READ
+                self.rop.invalidate_line(line, cycle)
+        if self._t_req:
+            self.sink.emit(
+                Category.REQUEST,
+                Kind.READ_ARRIVAL if kind is ReqKind.READ else Kind.WRITE_ARRIVAL,
+                cycle,
+                coord.channel,
+                coord.rank,
+                a=line,
             )
         if self.rop is not None:
             self.rop.on_request(req, cycle)
@@ -238,6 +248,16 @@ class MemoryController:
             self.stats.row_closed += 1
         else:
             self.stats.row_conflicts += 1
+        if self._t_svc:
+            self.sink.emit(
+                Category.SERVICE,
+                Kind.ISSUE,
+                plan.col_cycle,
+                c.channel,
+                c.rank,
+                a=req.rid,
+                b=int(plan.category),
+            )
         if req.kind is ReqKind.READ:
             self.events.push(plan.data_end, self._make_read_completion(req))
 
@@ -254,6 +274,16 @@ class MemoryController:
         if lat > self.stats.read_latency_max:
             self.stats.read_latency_max = lat
         self.stats.end_cycle = max(self.stats.end_cycle, cycle)
+        if self._t_svc:
+            self.sink.emit(
+                Category.SERVICE,
+                Kind.COMPLETE,
+                cycle,
+                req.coord.channel,
+                req.coord.rank,
+                a=req.rid,
+                b=lat,
+            )
         if req.on_complete is not None:
             req.on_complete(cycle)
 
@@ -269,6 +299,16 @@ class MemoryController:
             self.stats.sram_hits_in_lock += 1
         else:
             self.stats.sram_hits_out_of_lock += 1
+        if self._t_svc:
+            self.sink.emit(
+                Category.SERVICE,
+                Kind.SRAM_SERVICE,
+                cycle,
+                req.coord.channel,
+                req.coord.rank,
+                a=req.line,
+                b=int(in_lock),
+            )
         self.rop.on_sram_hit(req, cycle, in_lock)
         self.events.push(done, self._make_read_completion(req))
 
@@ -327,8 +367,19 @@ class MemoryController:
                 self.stats.refreshes += 1
                 self.stats.refresh_locked_cycles += end - start
                 self.stats.end_cycle = max(self.stats.end_cycle, end)
-                if self.recorder is not None:
-                    self.recorder.on_refresh(ci, ri, start, end)
+                if self._t_ref:
+                    # b: the one frozen bank for per-bank refresh, -1 when
+                    # the whole rank locks
+                    locked_bank = banks[0] if banks is not None and len(banks) == 1 else -1
+                    self.sink.emit(
+                        Category.REFRESH,
+                        Kind.REFRESH_WINDOW,
+                        start,
+                        ci,
+                        ri,
+                        a=end,
+                        b=locked_bank,
+                    )
                 if self.rop is not None:
                     self.rop.on_refresh_executed(ci, ri, start, end)
                 due = end
@@ -362,6 +413,10 @@ class MemoryController:
             must_force = cycle + remaining >= deadline
             if not must_force and self._pending_for_rank(ci, ri) > 0:
                 # pause: demand goes first; re-check one segment later
+                if self._t_ref:
+                    self.sink.emit(
+                        Category.REFRESH, Kind.REFRESH_PAUSE, cycle, ci, ri, a=remaining
+                    )
                 self.events.push(cycle + seg, step)
                 self._try_issue(ci, cycle)
                 return
@@ -373,8 +428,10 @@ class MemoryController:
             if not state["counted"]:
                 self.stats.refreshes += 1
                 state["counted"] = True
-            if self.recorder is not None:
-                self.recorder.on_refresh(ci, ri, start, end)
+            if self._t_ref:
+                self.sink.emit(
+                    Category.REFRESH, Kind.REFRESH_WINDOW, start, ci, ri, a=end, b=-1
+                )
             if state["remaining"] > 0:
                 self.events.push(end, step)
             elif self.read_q[ci] or self.write_q[ci]:

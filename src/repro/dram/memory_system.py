@@ -12,6 +12,7 @@ from typing import Callable
 from ..config import SystemConfig
 from ..events import EventQueue
 from ..stats.collectors import ControllerStats, EventRecorder
+from ..telemetry import NULL_SINK, Category, TraceSink
 from .controller import MemoryController
 from .request import ReqKind, Request
 
@@ -28,7 +29,14 @@ class MemorySystem:
         :class:`~repro.core.rop_engine.RopEngine` is attached.
     record_events:
         Capture per-rank request/refresh timestamps for the offline refresh
-        analyses (costs memory proportional to traffic).
+        analyses (costs memory proportional to traffic).  Implemented on
+        the telemetry sink: a grow-policy :class:`TraceSink` collecting the
+        REQUEST and REFRESH categories is created (unless ``sink`` is
+        given, in which case those categories are enabled on it) and
+        ``self.recorder`` exposes the classic per-rank view of it.
+    sink:
+        Telemetry sink receiving cycle-level events from the controller,
+        refresh manager and ROP engine; defaults to the no-op sink.
     events:
         Share an external event queue (the CPU co-simulation does this);
         a private queue is created otherwise.
@@ -40,22 +48,41 @@ class MemorySystem:
         *,
         record_events: bool = False,
         events: EventQueue | None = None,
+        sink: TraceSink | None = None,
     ) -> None:
         self.config = config
         self.events = events if events is not None else EventQueue()
+        if sink is not None:
+            self.sink = sink
+            if record_events:
+                self.sink.enable(Category.REQUEST)
+                self.sink.enable(Category.REFRESH)
+        elif record_events:
+            self.sink = TraceSink(
+                capacity=1 << 12,
+                categories={Category.REQUEST, Category.REFRESH},
+                policy="grow",
+            )
+        else:
+            self.sink = NULL_SINK
         self.rop = None
         if config.rop.enabled:
             # imported here to keep repro.dram importable without repro.core
             from ..core.rop_engine import RopEngine
 
             self.rop = RopEngine(config)
+            self.rop.set_sink(self.sink)
         self.recorder = (
-            EventRecorder(config.organization.channels, config.organization.ranks)
+            EventRecorder(
+                config.organization.channels,
+                config.organization.ranks,
+                sink=self.sink,
+            )
             if record_events
             else None
         )
         self.controller = MemoryController(
-            config, self.events, rop=self.rop, recorder=self.recorder
+            config, self.events, rop=self.rop, sink=self.sink
         )
         if self.rop is not None:
             self.rop.bind(self.controller)

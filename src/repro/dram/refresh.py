@@ -21,6 +21,7 @@ Policies:
 from __future__ import annotations
 
 from ..config import MemoryOrganization, RefreshConfig, RefreshMode
+from ..telemetry import NULL_SINK, Category, Kind
 from .timings import DramTimings
 
 __all__ = ["RefreshManager"]
@@ -34,10 +35,13 @@ class RefreshManager:
         cfg: RefreshConfig,
         timings: DramTimings,
         org: MemoryOrganization,
+        sink=None,
     ) -> None:
         self.cfg = cfg
         self.timings = timings
         self.org = org
+        self.sink = sink if sink is not None else NULL_SINK
+        self._t_ref = self.sink.wants(Category.REFRESH)
         self.period = timings.refi
         self._owed: dict[tuple[int, int], int] = {}
         self._next_bank: dict[tuple[int, int], int] = {}
@@ -75,6 +79,10 @@ class RefreshManager:
         owed = self._owed[key] + 1  # this tick's refresh joins the debt
         if pending_demand > 0 and owed < self.cfg.postpone_max:
             self._owed[key] = owed
+            if self._t_ref:
+                self.sink.emit(
+                    Category.REFRESH, Kind.REFRESH_POSTPONED, now, channel, rank, a=owed
+                )
             return 0
         self._owed[key] = 0
         return owed

@@ -147,7 +147,9 @@ class DramTimings:
 def _make_ddr4(data_rate: int, cl_ns: float = 13.75) -> DramTimings:
     """Construct DDR4 timings for a given data rate (MT/s)."""
     tck = 2000.0 / data_rate  # controller clock period in ns
-    c = lambda ns: _ns_to_cycles(ns, tck)
+    def c(ns: float) -> int:
+        return _ns_to_cycles(ns, tck)
+
     return DramTimings(
         tck_ns=tck,
         cl=c(cl_ns),

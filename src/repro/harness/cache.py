@@ -56,7 +56,7 @@ __all__ = [
 
 #: Bump when simulator semantics change in a way fingerprints cannot see
 #: (e.g. a scheduling-policy fix): invalidates every stored artifact.
-CACHE_SCHEMA = 2  # v2: refresh may not cut an in-flight data burst (Bank.busy_until)
+CACHE_SCHEMA = 3  # v3: MulticoreResult carries a telemetry metrics snapshot
 
 #: Sentinel distinguishing "cached None" from "not cached".
 MISS = object()

@@ -19,6 +19,7 @@ __all__ = [
     "render_llc_sensitivity",
     "render_runner_stats",
     "render_failures",
+    "render_metrics",
 ]
 
 #: rendered when keep-going execution left a figure with no surviving rows
@@ -194,12 +195,47 @@ def render_runner_stats(stats) -> str:
             ("timeouts", stats.timeouts),
             ("failed", stats.failed),
             ("pool rebuilds", stats.pool_rebuilds),
+            ("cache write errors", getattr(stats, "cache_write_errors", 0)),
         )
         if count
     ]
     if extras:
         line += " | " + ", ".join(extras)
     return line
+
+
+def render_metrics(snapshot: dict, *, prefix: str | None = None) -> str:
+    """Table view of a :class:`~repro.telemetry.MetricsRegistry` snapshot.
+
+    ``snapshot`` is either one run's ``MulticoreResult.metrics`` or a
+    plan-wide ``PlanResults.merged_metrics()``; ``prefix`` keeps only
+    metric names starting with it (e.g. ``"rop."``).
+    """
+    from ..telemetry import MetricsRegistry
+
+    if not snapshot:
+        return "(no metrics recorded)"
+
+    def keep(name: str) -> bool:
+        return prefix is None or name.startswith(prefix)
+
+    body: list[tuple[str, str, str]] = []
+    for name, value in snapshot.get("counters", {}).items():
+        if keep(name):
+            body.append((name, "counter", f"{value:g}"))
+    for name in snapshot.get("gauges", {}):
+        if keep(name):
+            body.append((name, "gauge", _f(MetricsRegistry.gauge_value(snapshot, name))))
+    for name, h in snapshot.get("histograms", {}).items():
+        if not keep(name):
+            continue
+        n = sum(h["counts"])
+        mean = h["sum"] / n if n else 0.0
+        body.append((name, "histogram", f"n={n} mean={mean:.1f}"))
+    if not body:
+        return "(no metrics recorded)"
+    body.sort()
+    return format_table(["metric", "type", "value"], body)
 
 
 def render_failures(failures) -> str:

@@ -54,7 +54,7 @@ import time
 import traceback as _traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable
 
 from ..config import LlcConfig, SystemConfig
@@ -112,8 +112,9 @@ class RunSpec:
     the LLC geometry the traces are filtered through, and the run
     length/seed.  Presentation details (system labels, normalization)
     live in the drivers, so the same spec declared by two figures is one
-    simulation.  ``audit`` is *excluded* from the key: invariant checks
-    validate a result without changing it.
+    simulation.  ``audit`` and ``telemetry`` are *excluded* from the key:
+    invariant checks validate a result without changing it, and the trace
+    sink observes a run without changing it.
     """
 
     workloads: tuple[str, ...]
@@ -127,6 +128,9 @@ class RunSpec:
     #: run the invariant audit (:func:`repro.stats.invariants.check_run`)
     #: on the finished simulation before the result enters the cache
     audit: bool = False
+    #: attach a cycle-level trace sink and export a Perfetto trace file
+    #: (also forced by ``REPRO_TELEMETRY=1``); never changes the result
+    telemetry: bool = False
 
     @property
     def key(self) -> str:
@@ -202,6 +206,39 @@ class RunSpec:
         )
 
 
+def telemetry_enabled(spec: RunSpec | None = None) -> bool:
+    """Whether a run should attach a trace sink (spec flag or env)."""
+    return (spec is not None and spec.telemetry) or _env_flag("REPRO_TELEMETRY")
+
+
+def trace_dir() -> "Path":
+    """Directory worker trace files land in.
+
+    ``REPRO_TRACE_DIR`` wins (the CLI sets it so spawned workers agree);
+    the default is a ``traces/`` sibling inside the artifact-cache dir.
+    """
+    from pathlib import Path
+
+    env = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    if env:
+        return Path(env)
+    from .cache import default_cache_dir
+
+    return default_cache_dir() / "traces"
+
+
+def _export_worker_trace(spec: RunSpec, sink) -> "Path | None":
+    """Write this worker's Perfetto trace; failures never fail the run."""
+    from ..telemetry import write_chrome_trace
+
+    tck_ns = spec.config.effective_timings().tck_ns
+    path = trace_dir() / f"{spec.label}-{spec.key[:12]}.trace.json"
+    try:
+        return write_chrome_trace(sink, tck_ns, path, label=spec.label)
+    except OSError:
+        return None
+
+
 def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     """Execute one spec (pure function; also the worker-process entry).
 
@@ -209,6 +246,11 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     invariant checker on the finished simulation so a violated physical
     constraint surfaces as an ``invariant`` failure instead of a silently
     wrong artifact in the cache.
+
+    With telemetry enabled (``spec.telemetry`` or ``REPRO_TELEMETRY=1``)
+    a :class:`~repro.telemetry.TraceSink` rides along and the worker
+    exports a Perfetto trace file under :func:`trace_dir`; the returned
+    result is bit-identical either way.
     """
     maybe_inject(spec)
     traces = [
@@ -216,7 +258,17 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
         for name in spec.workloads
     ]
     do_audit = audit or spec.audit or _env_flag("REPRO_AUDIT")
-    return run_cores(traces, spec.config, record_events=spec.record_events, audit=do_audit)
+    sink = None
+    if telemetry_enabled(spec):
+        from ..telemetry import TraceSink
+
+        sink = TraceSink()
+    result = run_cores(
+        traces, spec.config, record_events=spec.record_events, audit=do_audit, sink=sink
+    )
+    if sink is not None:
+        _export_worker_trace(spec, sink)
+    return result
 
 
 # --------------------------------------------------------------- policy
@@ -391,6 +443,7 @@ class RunnerStats:
     timeouts: int = 0  #: specs killed at the per-spec timeout
     failed: int = 0  #: specs that failed terminally (post-retry)
     pool_rebuilds: int = 0  #: broken process pools replaced
+    cache_write_errors: int = 0  #: artifact-cache puts that failed (results not persisted)
 
     @property
     def hits(self) -> int:
@@ -415,6 +468,7 @@ class RunnerStats:
         self.timeouts += other.timeouts
         self.failed += other.failed
         self.pool_rebuilds += other.pool_rebuilds
+        self.cache_write_errors += other.cache_write_errors
 
 
 #: in-process L1 over the disk cache: spec key → result
@@ -505,6 +559,22 @@ class PlanResults:
             if f.key == spec.key:
                 return f
         return None
+
+    def merged_metrics(self) -> dict:
+        """Plan-wide metrics: every result's registry snapshot, merged.
+
+        Results are visited in sorted-key order and the merge itself is
+        order-independent, so ``jobs=1`` and ``jobs=N`` executions of the
+        same plan produce identical merged metrics.
+        """
+        from ..telemetry import MetricsRegistry
+
+        snaps = [
+            self._by_key[key].metrics
+            for key in sorted(self._by_key)
+            if getattr(self._by_key[key], "metrics", None)
+        ]
+        return MetricsRegistry.merge(snaps)
 
 
 # ------------------------------------------------------------ the engine
@@ -848,9 +918,15 @@ def execute_plan(
         unique.setdefault(spec.key, spec)
 
     stats = RunnerStats(requested=len(spec_list), unique=len(unique), jobs=jobs)
+    write_errors_before = getattr(cache, "write_errors", 0)
     results: dict[str, MulticoreResult] = {}
     todo: list[tuple[str, RunSpec]] = []
     for key, spec in unique.items():
+        if telemetry_enabled(spec):
+            # a cached result carries no trace: force execution so the
+            # sink observes the run (the result is bit-identical anyway)
+            todo.append((key, spec))
+            continue
         memoized = _RESULT_MEMO.get(key)
         if memoized is not None:
             results[key] = memoized
@@ -878,6 +954,7 @@ def execute_plan(
         stats.executed = sum(1 for n in runner.attempts.values() if n > 0)
 
     stats.wall_s = time.perf_counter() - t0
+    stats.cache_write_errors = getattr(cache, "write_errors", 0) - write_errors_before
     _LAST_STATS = stats
     _SESSION_STATS.absorb(stats)
     _LAST_FAILURES = failures

@@ -3,9 +3,12 @@
 :class:`ControllerStats` holds the scalar counters every run produces
 (request mix, row-buffer outcomes, latencies, refresh and SRAM activity);
 the energy model and the reporting harness read them. :class:`EventRecorder`
-optionally captures per-event timestamps (request arrivals and refresh
-windows) for the paper's offline analyses (Figs. 2–4, Table I); it is off
-by default because it costs memory proportional to the trace.
+is the per-rank timestamp view the paper's offline analyses (Figs. 2–4,
+Table I) consume; since the telemetry subsystem landed it is a thin,
+**deprecated** shim over :class:`~repro.telemetry.TraceSink` — events are
+stored once, in the sink's columnar buffer, and materialized into
+:class:`RankEvents` lists on demand.  New code should query the sink
+directly (``sink.select(category=..., kind=...)``).
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..telemetry import Category, Kind, TraceSink
 
 __all__ = ["ControllerStats", "EventRecorder", "RankEvents"]
 
@@ -118,28 +123,63 @@ class RankEvents:
 
 
 class EventRecorder:
-    """Optional per-rank timestamp capture for offline refresh analysis."""
+    """Per-rank timestamp view for offline refresh analysis.
 
-    def __init__(self, channels: int, ranks: int) -> None:
-        self._events = {
-            (ch, rk): RankEvents() for ch in range(channels) for rk in range(ranks)
-        }
+    .. deprecated::
+        The recorder is now a compatibility shim over
+        :class:`~repro.telemetry.TraceSink`; its constructor and the
+        ``on_request`` / ``on_refresh`` / ``rank_events`` / ``all_events``
+        API are unchanged, but storage is the sink's columnar buffer.
+        Query the sink directly in new code.
+    """
+
+    def __init__(self, channels: int, ranks: int, sink: TraceSink | None = None) -> None:
+        self.channels = channels
+        self.ranks = ranks
+        if sink is None:
+            sink = TraceSink(
+                capacity=1 << 12,
+                categories={Category.REQUEST, Category.REFRESH},
+                policy="grow",
+            )
+        self.sink = sink
 
     def on_request(self, channel: int, rank: int, cycle: int, is_read: bool) -> None:
         """Record a demand request arrival."""
-        ev = self._events[(channel, rank)]
-        (ev.read_arrivals if is_read else ev.write_arrivals).append(cycle)
+        kind = Kind.READ_ARRIVAL if is_read else Kind.WRITE_ARRIVAL
+        self.sink.emit(Category.REQUEST, kind, cycle, channel, rank)
 
     def on_refresh(self, channel: int, rank: int, start: int, end: int) -> None:
-        """Record one refresh lock window."""
-        ev = self._events[(channel, rank)]
-        ev.refresh_starts.append(start)
-        ev.refresh_ends.append(end)
+        """Record one refresh lock window (whole-rank: b=-1)."""
+        self.sink.emit(
+            Category.REFRESH, Kind.REFRESH_WINDOW, start, channel, rank, a=end, b=-1
+        )
 
     def rank_events(self, channel: int = 0, rank: int = 0) -> RankEvents:
-        """Events of one rank."""
-        return self._events[(channel, rank)]
+        """Events of one rank, rebuilt from the sink's columns."""
+        return self._materialize(self.sink.snapshot(), channel, rank)
 
     def all_events(self) -> dict[tuple[int, int], RankEvents]:
         """All per-rank event records."""
-        return self._events
+        snap = self.sink.snapshot()
+        return {
+            (ch, rk): self._materialize(snap, ch, rk)
+            for ch in range(self.channels)
+            for rk in range(self.ranks)
+        }
+
+    def _materialize(
+        self, snap: dict[str, np.ndarray], channel: int, rank: int
+    ) -> RankEvents:
+        here = (snap["channel"] == channel) & (snap["rank"] == rank)
+
+        def cycles(kind: Kind) -> np.ndarray:
+            return snap["cycle"][here & (snap["kind"] == int(kind))]
+
+        windows = here & (snap["kind"] == int(Kind.REFRESH_WINDOW))
+        return RankEvents(
+            read_arrivals=cycles(Kind.READ_ARRIVAL).tolist(),
+            write_arrivals=cycles(Kind.WRITE_ARRIVAL).tolist(),
+            refresh_starts=snap["cycle"][windows].tolist(),
+            refresh_ends=snap["a"][windows].tolist(),
+        )

@@ -10,7 +10,9 @@ invariants the DDR4 model must uphold:
   it arrives, or completes before it issues;
 * **bus exclusivity** — data bursts on one channel never overlap;
 * **lock exclusion** — no DRAM data transfer overlaps its rank's refresh
-  lock (SRAM service is exempt: the buffer lives in the controller);
+  lock (SRAM service is exempt: the buffer lives in the controller;
+  per-bank refresh freezes only the recorded bank, so the rank's other
+  banks may legally keep serving);
 * **refresh rate** — each rank performs one refresh per tREFI on average
   (within the JEDEC ±8-interval flexibility);
 * **service accounting** — every demand read completes exactly once.
@@ -128,18 +130,44 @@ def _check_bus_exclusive(log: RequestLog, burst: int) -> None:
                 )
 
 
-def _check_lock_exclusion(log: RequestLog, events) -> None:
-    """No DRAM transfer may land inside its rank's refresh lock."""
-    locks: dict[tuple[int, int], list[tuple[int, int]]] = {}
-    for key, ev in events.items():
-        locks[key] = sorted(zip(ev.refresh_starts, ev.refresh_ends))
+def _refresh_locks(memory_system) -> dict[tuple[int, int], list[tuple[int, int, int]]]:
+    """Lock windows ``(start, end, bank)`` per rank, from the telemetry sink.
+
+    ``bank`` is -1 for an all-bank refresh (the whole rank freezes); a
+    per-bank refresh freezes only the recorded bank, so reads served by
+    the rank's other banks during the window are legal.
+    """
+    from ..telemetry import Category, Kind
+
+    snap = memory_system.recorder.sink.snapshot()
+    sel = (snap["cat"] == int(Category.REFRESH)) & (
+        snap["kind"] == int(Kind.REFRESH_WINDOW)
+    )
+    locks: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for ch, rk, s, e, b in zip(
+        snap["channel"][sel],
+        snap["rank"][sel],
+        snap["cycle"][sel],
+        snap["a"][sel],
+        snap["b"][sel],
+    ):
+        locks.setdefault((int(ch), int(rk)), []).append((int(s), int(e), int(b)))
+    for windows in locks.values():
+        windows.sort()
+    return locks
+
+
+def _check_lock_exclusion(log: RequestLog, locks) -> None:
+    """No DRAM transfer may land inside its bank's/rank's refresh lock."""
     for r in log.requests:
         if r.complete_cycle < 0 or r.service is ServiceKind.SRAM:
             continue
         if r.kind is not ReqKind.READ:
             continue
         key = (r.coord.channel, r.coord.rank)
-        for s, e in locks.get(key, ()):
+        for s, e, bank in locks.get(key, ()):
+            if bank >= 0 and r.coord.bank != bank:
+                continue  # per-bank refresh: other banks keep serving
             if s < r.complete_cycle <= e and r.complete_cycle - 1 >= s:
                 # the burst's last beat lies inside the lock window
                 raise InvariantViolation(
@@ -173,6 +201,6 @@ def check_run(
     _check_bus_exclusive(log, t.burst)
     if memory_system.recorder is not None:
         events = memory_system.recorder.all_events()
-        _check_lock_exclusion(log, events)
+        _check_lock_exclusion(log, _refresh_locks(memory_system))
         if check_refresh and memory_system.config.refresh.enabled:
             _check_refresh_rate(events, t.refi, memory_system.stats.end_cycle)

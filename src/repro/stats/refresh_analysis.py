@@ -1,7 +1,9 @@
 """Offline refresh/traffic correlation analysis (Section III of the paper).
 
-Operates on the per-rank event timestamps captured by
-:class:`~repro.stats.collectors.EventRecorder` and reproduces, fully
+Operates on per-rank event timestamps — the
+:class:`~repro.stats.collectors.RankEvents` view that
+:class:`~repro.stats.collectors.EventRecorder` materializes from the
+telemetry :class:`~repro.telemetry.TraceSink` — and reproduces, fully
 vectorized with ``numpy.searchsorted``:
 
 * **Fig. 2** — fraction of *non-blocking* refreshes at 1×/2×/4× examined

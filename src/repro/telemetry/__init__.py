@@ -1,0 +1,41 @@
+"""Structured, low-overhead tracing and metrics for the simulator.
+
+The subsystem has three parts:
+
+* :class:`TraceSink` (:mod:`~repro.telemetry.sink`) — a columnar,
+  NumPy-backed ring buffer of typed, cycle-stamped events with a
+  per-category enable mask and drop accounting.  The module-level
+  :data:`NULL_SINK` is the disabled default: instrumented components
+  cache its per-category answer, so telemetry off costs one local
+  boolean test per potential event.
+* :class:`MetricsRegistry` (:mod:`~repro.telemetry.metrics`) — named
+  counters/gauges/histograms serialized with every run result and merged
+  deterministically across parallel workers.
+* exporters (:mod:`~repro.telemetry.export`) — Chrome trace-event JSON
+  (load in Perfetto or ``chrome://tracing``), JSONL and CSV.
+
+Event taxonomy lives in :mod:`~repro.telemetry.events`; the
+``repro trace`` CLI subcommand and the ``--telemetry`` flag are the main
+entry points.
+"""
+
+from .events import Category, Kind, PhaseCode, SkipReason, kind_name
+from .export import chrome_trace, write_chrome_trace, write_csv, write_jsonl
+from .metrics import MetricsRegistry
+from .sink import NULL_SINK, NullSink, TraceSink
+
+__all__ = [
+    "Category",
+    "Kind",
+    "PhaseCode",
+    "SkipReason",
+    "kind_name",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+    "write_jsonl",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "TraceSink",
+]

@@ -1,0 +1,128 @@
+"""Event taxonomy for the telemetry subsystem.
+
+Every trace record is ``(cycle, category, kind, channel, rank, a, b, f)``:
+a cycle-stamped, typed event with two integer payload fields and one
+float payload field whose meaning depends on ``kind``.  Categories gate
+collection (the sink's enable mask filters whole categories on the hot
+path); kinds identify individual event types within a category.
+
+=====================  ========  =============================================
+kind                   category  payload
+=====================  ========  =============================================
+``READ_ARRIVAL``       REQUEST   a = line
+``WRITE_ARRIVAL``      REQUEST   a = line
+``ISSUE``              SERVICE   a = request id, b = :class:`ServiceKind`
+``COMPLETE``           SERVICE   a = request id, b = read latency (cycles)
+``SRAM_SERVICE``       SERVICE   a = line, b = 1 if rank was frozen
+``REFRESH_WINDOW``     REFRESH   cycle = lock start, a = lock end
+``REFRESH_PAUSE``      REFRESH   a = tRFC cycles still owed (PAUSING mode)
+``REFRESH_POSTPONED``  REFRESH   a = refreshes owed after this tick (ELASTIC)
+``PHASE``              ROP       a = new :class:`PhaseCode`, b = previous
+``PREFETCH_PLAN``      ROP       a = candidate lines, b = profiler B count
+``PREFETCH_FILL``      ROP       a = lines stored in the buffer
+``PREFETCH_SKIP``      ROP       a = :class:`SkipReason`
+``LAMBDA``             ROP       f = λ estimate for (channel, rank)
+``BETA``               ROP       f = β estimate for (channel, rank)
+``RETRAIN``            ROP       a = retrain count so far
+``SRAM_HIT``           SRAM      a = line
+``SRAM_FILL``          SRAM      a = lines stored
+``SRAM_INVALIDATE``    SRAM      a = line
+=====================  ========  =============================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Category",
+    "Kind",
+    "PhaseCode",
+    "SkipReason",
+    "KIND_CATEGORY",
+    "kind_name",
+]
+
+
+class Category(enum.IntEnum):
+    """Coarse event classes; the sink's enable mask operates on these."""
+
+    REQUEST = 0  #: demand read/write arrivals at the controller
+    SERVICE = 1  #: scheduling outcomes: issue, completion, SRAM service
+    REFRESH = 2  #: refresh lock windows, pauses, postponements
+    ROP = 3  #: ROP engine: phases, prefetch decisions, λ/β updates
+    SRAM = 4  #: SRAM buffer micro-events: hits, fills, invalidations
+
+
+#: number of categories (sizes the sink's mask and drop-counter arrays)
+N_CATEGORIES = len(Category)
+
+
+class Kind(enum.IntEnum):
+    """Individual event types (see the module table for payloads)."""
+
+    READ_ARRIVAL = 0
+    WRITE_ARRIVAL = 1
+    ISSUE = 2
+    COMPLETE = 3
+    SRAM_SERVICE = 4
+    REFRESH_WINDOW = 5
+    REFRESH_PAUSE = 6
+    REFRESH_POSTPONED = 7
+    PHASE = 8
+    PREFETCH_PLAN = 9
+    PREFETCH_FILL = 10
+    PREFETCH_SKIP = 11
+    LAMBDA = 12
+    BETA = 13
+    RETRAIN = 14
+    SRAM_HIT = 15
+    SRAM_FILL = 16
+    SRAM_INVALIDATE = 17
+
+
+class PhaseCode(enum.IntEnum):
+    """Integer encoding of :class:`repro.core.state_machine.RopState`."""
+
+    TRAINING = 0
+    OBSERVING = 1
+    PREFETCHING = 2
+
+
+class SkipReason(enum.IntEnum):
+    """Why :meth:`RopEngine.plan_prefetch` armed nothing."""
+
+    BUS_PRESSURE = 0  #: channel utilization above the pressure limit
+    THROTTLE = 1  #: probabilistic go/no-go decided against prefetching
+    NO_CANDIDATES = 2  #: prediction table produced no lines
+
+
+#: kind → owning category
+KIND_CATEGORY: dict[Kind, Category] = {
+    Kind.READ_ARRIVAL: Category.REQUEST,
+    Kind.WRITE_ARRIVAL: Category.REQUEST,
+    Kind.ISSUE: Category.SERVICE,
+    Kind.COMPLETE: Category.SERVICE,
+    Kind.SRAM_SERVICE: Category.SERVICE,
+    Kind.REFRESH_WINDOW: Category.REFRESH,
+    Kind.REFRESH_PAUSE: Category.REFRESH,
+    Kind.REFRESH_POSTPONED: Category.REFRESH,
+    Kind.PHASE: Category.ROP,
+    Kind.PREFETCH_PLAN: Category.ROP,
+    Kind.PREFETCH_FILL: Category.ROP,
+    Kind.PREFETCH_SKIP: Category.ROP,
+    Kind.LAMBDA: Category.ROP,
+    Kind.BETA: Category.ROP,
+    Kind.RETRAIN: Category.ROP,
+    Kind.SRAM_HIT: Category.SRAM,
+    Kind.SRAM_FILL: Category.SRAM,
+    Kind.SRAM_INVALIDATE: Category.SRAM,
+}
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name of a kind code (tolerates raw ints)."""
+    try:
+        return Kind(kind).name.lower()
+    except ValueError:
+        return f"kind{kind}"

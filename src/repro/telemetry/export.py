@@ -1,0 +1,257 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto), JSONL and CSV.
+
+The Chrome trace-event format is the JSON dialect both Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly.  The
+exporter lays the simulation out as:
+
+* one *process* per memory channel, one *thread* (track) per rank —
+  refresh freezes render as duration (``"ph": "X"``) spans and demand
+  request arrivals as instant (``"ph": "i"``) events on the rank's track;
+* one extra ``rop`` process whose track shows the engine's
+  Training/Observing/Prefetching phases as duration spans, with prefetch
+  batches as instants and λ/β as counter (``"ph": "C"``) series.
+
+Timestamps are microseconds (the format's unit), converted from
+controller cycles via the DRAM clock period.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO
+
+from .events import Category, Kind, PhaseCode, kind_name
+
+__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "write_csv"]
+
+#: pid of the synthetic ROP-engine process in the exported trace
+ROP_PID = 1000
+
+
+def _us(cycle: int, tck_ns: float) -> float:
+    """Controller cycle → trace timestamp in microseconds."""
+    return cycle * tck_ns / 1000.0
+
+
+def chrome_trace(sink, tck_ns: float, *, label: str = "repro") -> dict:
+    """Build a Chrome trace-event JSON object from a sink's contents."""
+    snap = sink.snapshot()
+    events: list[dict] = []
+    seen_tracks: set[tuple[int, int]] = set()
+
+    def track(ch: int, rk: int) -> tuple[int, int]:
+        pid, tid = int(ch) + 1, int(rk) + 1
+        if (pid, tid) not in seen_tracks:
+            seen_tracks.add((pid, tid))
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"channel {ch}"},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"rank {rk}"},
+                }
+            )
+        return pid, tid
+
+    n = len(snap["cycle"])
+    cycles, kinds = snap["cycle"], snap["kind"]
+    chans, ranks = snap["channel"], snap["rank"]
+    avals, bvals, fvals = snap["a"], snap["b"], snap["f"]
+
+    phase_open: tuple[int, int] | None = None  # (start cycle, PhaseCode)
+    rop_track_named = False
+
+    def rop_track() -> None:
+        nonlocal rop_track_named
+        if not rop_track_named:
+            rop_track_named = True
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": ROP_PID,
+                    "tid": 0,
+                    "args": {"name": "rop engine"},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": ROP_PID,
+                    "tid": 1,
+                    "args": {"name": "phase"},
+                }
+            )
+
+    last_cycle = 0
+    for i in range(n):
+        cyc, kind = int(cycles[i]), int(kinds[i])
+        ch, rk = int(chans[i]), int(ranks[i])
+        a, b, f = int(avals[i]), int(bvals[i]), float(fvals[i])
+        last_cycle = max(last_cycle, cyc)
+        if kind in (Kind.READ_ARRIVAL, Kind.WRITE_ARRIVAL):
+            pid, tid = track(ch, rk)
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": "read" if kind == Kind.READ_ARRIVAL else "write",
+                    "cat": "request",
+                    "ts": _us(cyc, tck_ns),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"line": a, "cycle": cyc},
+                }
+            )
+        elif kind == Kind.REFRESH_WINDOW:
+            pid, tid = track(ch, rk)
+            last_cycle = max(last_cycle, a)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": "refresh freeze",
+                    "cat": "refresh",
+                    "ts": _us(cyc, tck_ns),
+                    "dur": max(_us(a - cyc, tck_ns), 0.0),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"start_cycle": cyc, "end_cycle": a},
+                }
+            )
+        elif kind == Kind.SRAM_SERVICE:
+            pid, tid = track(ch, rk)
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": "sram hit",
+                    "cat": "service",
+                    "ts": _us(cyc, tck_ns),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"line": a, "in_lock": bool(b)},
+                }
+            )
+        elif kind == Kind.PHASE:
+            rop_track()
+            if phase_open is not None:
+                start, code = phase_open
+                events.append(_phase_span(start, cyc, code, tck_ns))
+            phase_open = (cyc, a)
+        elif kind in (Kind.LAMBDA, Kind.BETA):
+            rop_track()
+            series = "lambda" if kind == Kind.LAMBDA else "beta"
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"{series} ch{ch}.rank{rk}",
+                    "cat": "rop",
+                    "ts": _us(cyc, tck_ns),
+                    "pid": ROP_PID,
+                    "tid": 1,
+                    "args": {series: f},
+                }
+            )
+        elif kind in (Kind.PREFETCH_PLAN, Kind.PREFETCH_FILL, Kind.PREFETCH_SKIP):
+            rop_track()
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "name": kind_name(kind),
+                    "cat": "rop",
+                    "ts": _us(cyc, tck_ns),
+                    "pid": ROP_PID,
+                    "tid": 1,
+                    "args": {"a": a, "b": b},
+                }
+            )
+        # remaining kinds (pauses, postponements, SRAM micro-events,
+        # retrains) stay in the JSONL/CSV dumps but would only clutter the
+        # timeline view
+    if phase_open is not None:
+        start, code = phase_open
+        events.append(_phase_span(start, max(last_cycle, start), code, tck_ns))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": f"repro telemetry ({label})",
+            "clock_period_ns": tck_ns,
+        },
+    }
+
+
+def _phase_span(start: int, end: int, code: int, tck_ns: float) -> dict:
+    try:
+        name = PhaseCode(code).name.lower()
+    except ValueError:
+        name = f"phase{code}"
+    return {
+        "ph": "X",
+        "name": name,
+        "cat": "rop-phase",
+        "ts": _us(start, tck_ns),
+        "dur": max(_us(end - start, tck_ns), 0.0),
+        "pid": ROP_PID,
+        "tid": 1,
+        "args": {"start_cycle": start, "end_cycle": end},
+    }
+
+
+def write_chrome_trace(
+    sink, tck_ns: float, path: str | Path, *, label: str = "repro"
+) -> Path:
+    """Write a Perfetto-loadable ``.trace.json`` file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(sink, tck_ns, label=label), fh)
+    return path
+
+
+def write_jsonl(sink, path: str | Path) -> Path:
+    """Dump raw events as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for rec in sink.records():
+            rec["kind_name"] = kind_name(rec["kind"])
+            rec["category"] = Category(rec["cat"]).name.lower()
+            json.dump(rec, fh)
+            fh.write("\n")
+    return path
+
+
+def write_csv(sink, path_or_file: str | Path | IO[str]) -> None:
+    """Dump raw events as CSV (header + one row per event)."""
+    snap = sink.snapshot()
+    names = list(snap)
+
+    def _write(fh) -> None:
+        w = csv.writer(fh)
+        w.writerow(names + ["kind_name"])
+        for i in range(len(snap["cycle"])):
+            row = [snap[name][i].item() for name in names]
+            w.writerow(row + [kind_name(int(snap["kind"][i]))])
+
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file)
+    else:
+        path = Path(path_or_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            _write(fh)

@@ -1,0 +1,208 @@
+"""Run-wide metrics registry: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is populated during (or after) a simulation,
+serialized as a plain-JSON ``snapshot()`` dict that travels with each
+``RunSpec`` result through the artifact cache, and merged across the
+parallel runner's workers into one plan-wide view.  Merging is
+deterministic and order-independent:
+
+* **counters** sum;
+* **gauges** reduce by a policy encoded in the name suffix — ``.max`` /
+  ``.min`` take extrema, everything else averages (recorded with a weight
+  so merging is associative);
+* **histograms** add bucket counts (bounds must agree).
+
+That commutativity is what makes ``jobs=1`` and ``jobs=N`` executions
+produce identical merged metrics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["MetricsRegistry", "DEFAULT_LATENCY_BOUNDS"]
+
+#: default read-latency histogram bucket upper bounds (controller cycles)
+DEFAULT_LATENCY_BOUNDS: tuple[int, ...] = (
+    25, 50, 75, 100, 150, 200, 300, 500, 1000, 2000, 5000,
+)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and fixed-bucket histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int | float] = {}
+        #: name → (weighted sum, weight) — or (extremum, count) for
+        #: ``.max`` / ``.min`` gauges
+        self._gauges: dict[str, tuple[float, float]] = {}
+        #: name → (bounds, counts[len(bounds) + 1], sum)
+        self._hists: dict[str, tuple[tuple[float, ...], list[int], float]] = {}
+
+    # ------------------------------------------------------------------ write
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float, weight: float = 1.0) -> None:
+        """Record a gauge observation (merge policy from the name suffix)."""
+        cur = self._gauges.get(name)
+        if name.endswith(".max"):
+            self._gauges[name] = (
+                (value, 1.0) if cur is None else (max(cur[0], value), cur[1] + 1)
+            )
+        elif name.endswith(".min"):
+            self._gauges[name] = (
+                (value, 1.0) if cur is None else (min(cur[0], value), cur[1] + 1)
+            )
+        else:
+            acc, w = cur if cur is not None else (0.0, 0.0)
+            self._gauges[name] = (acc + value * weight, w + weight)
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> None:
+        """Add one observation to histogram ``name`` (last bucket = overflow)."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = (tuple(bounds), [0] * (len(bounds) + 1), 0.0)
+            self._hists[name] = hist
+        hb, counts, total = hist
+        counts[bisect.bisect_left(hb, value)] += 1
+        self._hists[name] = (hb, counts, total + value)
+
+    # ------------------------------------------------------------------ read
+
+    def snapshot(self) -> dict:
+        """JSON-serializable, mergeable view of everything recorded."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": {
+                name: [float(v), float(w)]
+                for name, (v, w) in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(map(float, hb)),
+                    "counts": list(counts),
+                    "sum": float(total),
+                }
+                for name, (hb, counts, total) in sorted(self._hists.items())
+            },
+        }
+
+    @staticmethod
+    def gauge_value(snapshot: Mapping, name: str) -> float:
+        """Resolved value of a gauge in a snapshot (mean unless .max/.min)."""
+        v, w = snapshot["gauges"][name]
+        if name.endswith((".max", ".min")):
+            return v
+        return v / w if w else 0.0
+
+    # ------------------------------------------------------------------ merge
+
+    @staticmethod
+    def merge(snapshots: Iterable[Mapping]) -> dict:
+        """Deterministically merge snapshot dicts (order-independent)."""
+        counters: dict[str, int | float] = {}
+        gauges: dict[str, list[float]] = {}
+        hists: dict[str, dict] = {}
+        for snap in snapshots:
+            if not snap:
+                continue
+            for name, n in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + n
+            for name, (v, w) in snap.get("gauges", {}).items():
+                cur = gauges.get(name)
+                if cur is None:
+                    gauges[name] = [float(v), float(w)]
+                elif name.endswith(".max"):
+                    gauges[name] = [max(cur[0], v), cur[1] + w]
+                elif name.endswith(".min"):
+                    gauges[name] = [min(cur[0], v), cur[1] + w]
+                else:
+                    gauges[name] = [cur[0] + v, cur[1] + w]
+            for name, h in snap.get("histograms", {}).items():
+                cur = hists.get(name)
+                if cur is None:
+                    hists[name] = {
+                        "bounds": list(h["bounds"]),
+                        "counts": list(h["counts"]),
+                        "sum": float(h["sum"]),
+                    }
+                else:
+                    if cur["bounds"] != list(h["bounds"]):
+                        raise ValueError(
+                            f"histogram {name!r} bucket bounds disagree across runs"
+                        )
+                    cur["counts"] = [x + y for x, y in zip(cur["counts"], h["counts"])]
+                    cur["sum"] += float(h["sum"])
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(hists.items())),
+        }
+
+    # ------------------------------------------------------------------ builders
+
+    @classmethod
+    def from_run(cls, stats, cores, rop_summary: dict | None) -> "MetricsRegistry":
+        """Registry for one finished co-simulation.
+
+        Derived purely from the scalar results (``ControllerStats``,
+        per-core outcomes, the ROP summary), never from the trace sink, so
+        a run's metrics are bit-identical whether telemetry was on or off.
+        """
+        reg = cls()
+        for name, value in vars(stats).items():
+            reg.count(f"dram.{name}", value)
+        for core in cores:
+            reg.count("cpu.instructions", core.instructions)
+            reg.count("cpu.reads", core.reads)
+            reg.count("cpu.writes", core.writes)
+            reg.gauge("cpu.ipc", core.ipc)
+        reg.gauge("cpu.ipc.min", min(c.ipc for c in cores))
+        reg.gauge("cpu.ipc.max", max(c.ipc for c in cores))
+        reg.gauge("dram.read_latency.avg", stats.avg_read_latency)
+        reg.gauge("dram.row_hit_rate", stats.row_hit_rate)
+        reg.gauge("dram.lock_hit_rate", stats.lock_hit_rate)
+        if rop_summary is not None:
+            for name in (
+                "armed_locks",
+                "armed_arrivals",
+                "armed_hits",
+                "retrains",
+                "buffer_fills",
+                "buffer_hits",
+                "buffer_invalidations",
+                "decisions_go",
+                "decisions_skip",
+            ):
+                reg.count(f"rop.{name}", rop_summary[name])
+            reg.gauge("rop.armed_hit_rate", rop_summary["armed_hit_rate"])
+        return reg
+
+    @classmethod
+    def from_trace(cls, sink) -> "MetricsRegistry":
+        """Trace-derived metrics (read-latency histogram, event counts).
+
+        Only meaningful when the sink collected SERVICE events; used by the
+        ``repro trace`` summary, *not* by cached results.
+        """
+        from .events import Category, Kind
+
+        reg = cls()
+        snap = sink.snapshot()
+        completes = sink.select(kind=Kind.COMPLETE, snapshot=snap)
+        for lat in completes["b"]:
+            reg.observe("trace.read_latency", int(lat))
+        for name, n in sink.counts_by_kind().items():
+            reg.count(f"trace.events.{name}", n)
+        refreshes = sink.select(
+            category=Category.REFRESH, kind=Kind.REFRESH_WINDOW, snapshot=snap
+        )
+        locked = (refreshes["a"] - refreshes["cycle"]).sum()
+        reg.count("trace.refresh_locked_cycles", int(locked))
+        return reg

@@ -1,0 +1,254 @@
+"""Columnar ring-buffer trace sink.
+
+:class:`TraceSink` stores events in parallel NumPy arrays — one append is
+eight scalar stores, a snapshot is zero-copy-ish slicing, and exporters
+and analyses operate on whole columns at once.  Memory is bounded by
+``capacity`` with three overflow policies:
+
+* ``"wrap"`` (default) — overwrite the oldest event; the overwritten
+  event's category is charged to the per-category drop counters;
+* ``"drop"`` — discard the incoming event instead;
+* ``"grow"`` — double the arrays (unbounded; used by the offline
+  refresh-analysis capture, which must see every event).
+
+Per-category collection is gated by an enable mask; instrumented
+components cache :meth:`TraceSink.wants` per category at construction, so
+with telemetry disabled (the module-level :data:`NULL_SINK`) the hot path
+pays only a local boolean test per potential event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .events import Category, Kind, N_CATEGORIES, kind_name
+
+__all__ = ["TraceSink", "NullSink", "NULL_SINK"]
+
+#: column name → dtype of one event record
+COLUMNS: dict[str, type] = {
+    "cycle": np.int64,
+    "cat": np.int16,
+    "kind": np.int16,
+    "channel": np.int16,
+    "rank": np.int16,
+    "a": np.int64,
+    "b": np.int64,
+    "f": np.float64,
+}
+
+_POLICIES = ("wrap", "drop", "grow")
+
+
+class TraceSink:
+    """Bounded, category-masked, columnar event buffer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 1 << 18,
+        *,
+        categories: Iterable[Category] | None = None,
+        policy: str = "wrap",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"sink capacity must be positive, got {capacity}")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown overflow policy {policy!r}; known: {_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        enabled = set(Category) if categories is None else set(categories)
+        self._mask = [Category(c) in enabled for c in range(N_CATEGORIES)]
+        self._cols = {name: np.zeros(capacity, dtype=dt) for name, dt in COLUMNS.items()}
+        self._head = 0  #: next write index
+        self._len = 0  #: events currently stored
+        #: events accepted (stored at least momentarily), total and per category
+        self.emitted = 0
+        self.emitted_by_category = [0] * N_CATEGORIES
+        #: events lost to overflow (overwritten under "wrap", rejected
+        #: under "drop"), per category of the *lost* event
+        self.dropped_by_category = [0] * N_CATEGORIES
+        #: events rejected by the category enable mask
+        self.masked = 0
+
+    # ------------------------------------------------------------------ config
+
+    def wants(self, category: Category) -> bool:
+        """Whether this sink collects ``category`` (cache me on hot paths)."""
+        return self._mask[category]
+
+    def enable(self, category: Category) -> None:
+        """Turn collection of ``category`` on (before instrumentation binds)."""
+        self._mask[category] = True
+
+    def disable(self, category: Category) -> None:
+        """Turn collection of ``category`` off."""
+        self._mask[category] = False
+
+    @property
+    def dropped(self) -> int:
+        """Total events lost to overflow."""
+        return sum(self.dropped_by_category)
+
+    def __len__(self) -> int:
+        return self._len
+
+    # ------------------------------------------------------------------ emit
+
+    def emit(
+        self,
+        cat: int,
+        kind: int,
+        cycle: int,
+        channel: int = -1,
+        rank: int = -1,
+        a: int = 0,
+        b: int = 0,
+        f: float = 0.0,
+    ) -> None:
+        """Append one event (constant amortized time)."""
+        if not self._mask[cat]:
+            self.masked += 1
+            return
+        i = self._head
+        if self._len == self.capacity:
+            if self.policy == "grow":
+                self._grow()
+                i = self._head
+            elif self.policy == "drop":
+                self.dropped_by_category[cat] += 1
+                return
+            else:  # wrap: the slot under the head holds the oldest event
+                self.dropped_by_category[self._cols["cat"][i]] += 1
+                self._len -= 1
+        cols = self._cols
+        cols["cycle"][i] = cycle
+        cols["cat"][i] = cat
+        cols["kind"][i] = kind
+        cols["channel"][i] = channel
+        cols["rank"][i] = rank
+        cols["a"][i] = a
+        cols["b"][i] = b
+        cols["f"][i] = f
+        self._head = (i + 1) % self.capacity
+        self._len += 1
+        self.emitted += 1
+        self.emitted_by_category[cat] += 1
+
+    def _grow(self) -> None:
+        """Double capacity, preserving chronological order."""
+        ordered = self.snapshot()
+        cap = self.capacity * 2
+        self._cols = {name: np.zeros(cap, dtype=dt) for name, dt in COLUMNS.items()}
+        for name, arr in ordered.items():
+            self._cols[name][: self._len] = arr
+        self.capacity = cap
+        self._head = self._len % cap
+
+    # ------------------------------------------------------------------ read
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Stored events as column arrays in chronological order (copies)."""
+        n, cap, head = self._len, self.capacity, self._head
+        if n < cap or head == 0:
+            start = (head - n) % cap if n else 0
+            sl = slice(start, start + n)
+            return {name: col[sl].copy() for name, col in self._cols.items()}
+        # full and wrapped: oldest event sits at the head
+        return {
+            name: np.concatenate([col[head:], col[:head]])
+            for name, col in self._cols.items()
+        }
+
+    def select(
+        self,
+        *,
+        category: Category | None = None,
+        kind: Kind | None = None,
+        channel: int | None = None,
+        rank: int | None = None,
+        snapshot: dict[str, np.ndarray] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Chronologically ordered events matching every given filter."""
+        snap = self.snapshot() if snapshot is None else snapshot
+        mask = np.ones(len(snap["cycle"]), dtype=bool)
+        for col, want in (
+            ("cat", category),
+            ("kind", kind),
+            ("channel", channel),
+            ("rank", rank),
+        ):
+            if want is not None:
+                mask &= snap[col] == int(want)
+        return {name: arr[mask] for name, arr in snap.items()}
+
+    def records(self) -> Iterator[dict]:
+        """Stored events as per-event dicts (exporter convenience)."""
+        snap = self.snapshot()
+        for i in range(len(snap["cycle"])):
+            yield {name: snap[name][i].item() for name in snap}
+
+    def summary(self) -> dict:
+        """Collection statistics for reporting."""
+        return {
+            "capacity": self.capacity,
+            "stored": self._len,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "masked": self.masked,
+            "policy": self.policy,
+            "by_category": {
+                Category(c).name.lower(): {
+                    "emitted": self.emitted_by_category[c],
+                    "dropped": self.dropped_by_category[c],
+                }
+                for c in range(N_CATEGORIES)
+            },
+        }
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Stored-event counts keyed by kind name."""
+        snap = self.snapshot()
+        kinds, counts = np.unique(snap["kind"], return_counts=True)
+        return {kind_name(int(k)): int(n) for k, n in zip(kinds, counts)}
+
+
+class NullSink:
+    """Disabled sink: collects nothing, costs (almost) nothing.
+
+    Instrumented components cache ``wants(...)`` per category, so the
+    per-event cost of disabled telemetry is one local boolean test.
+    """
+
+    enabled = False
+    capacity = 0
+    policy = "drop"
+    emitted = 0
+    masked = 0
+    dropped = 0
+
+    def wants(self, category: Category) -> bool:
+        return False
+
+    def emit(self, *args, **kwargs) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        return {name: np.zeros(0, dtype=dt) for name, dt in COLUMNS.items()}
+
+    def select(self, **kwargs) -> dict[str, np.ndarray]:
+        return self.snapshot()
+
+    def summary(self) -> dict:
+        return {"capacity": 0, "stored": 0, "emitted": 0, "dropped": 0, "masked": 0}
+
+
+#: process-wide no-op sink; components default to it so un-instrumented
+#: construction paths never pay for telemetry
+NULL_SINK = NullSink()

@@ -7,7 +7,6 @@ import os
 import pytest
 
 from repro import (
-    CoreConfig,
     LlcConfig,
     MemoryOrganization,
     RefreshMode,

@@ -1,6 +1,5 @@
 """Tests for the content-keyed artifact cache (harness/cache.py)."""
 
-import os
 import pickle
 
 import pytest

@@ -1,7 +1,6 @@
 """Unit tests for stats collectors."""
 
 import numpy as np
-import pytest
 
 from repro.stats.collectors import ControllerStats, EventRecorder, RankEvents
 

@@ -3,9 +3,9 @@ draining, refresh blocking, bus serialization."""
 
 import pytest
 
-from repro import MemoryOrganization, RefreshMode, SchedulerConfig, SystemConfig
+from repro import RefreshMode, SchedulerConfig, SystemConfig
 from repro.dram import MemorySystem
-from repro.dram.request import ReqKind, ServiceKind
+from repro.dram.request import ServiceKind
 
 
 def make_system(**kwargs) -> MemorySystem:

@@ -6,7 +6,6 @@ from repro import (
     LlcConfig,
     MemoryOrganization,
     RefreshMode,
-    RopConfig,
     SystemConfig,
 )
 from repro.cpu import filter_trace, run_cores

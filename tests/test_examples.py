@@ -4,12 +4,10 @@ The examples are the repository's public face; this keeps them executable
 as the library evolves.
 """
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

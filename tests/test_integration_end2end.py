@@ -10,7 +10,6 @@ import pytest
 from repro import RefreshMode, SystemConfig
 from repro.cpu import run_cores
 from repro.energy import system_energy
-from repro.harness import RunScale
 from repro.stats.metrics import weighted_speedup
 from repro.workloads import mix_profiles, profile
 

@@ -1,7 +1,6 @@
 """Unit + property tests for the last-level cache filter."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import LlcConfig

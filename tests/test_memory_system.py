@@ -1,11 +1,9 @@
 """Integration tests for the MemorySystem facade and ROP end-to-end
 behaviour at the memory level."""
 
-import pytest
 
 from repro import RefreshMode, SystemConfig
 from repro.dram import MemorySystem
-from repro.dram.request import ServiceKind
 
 
 def stream(ms, n, period=20, start_line=0):

@@ -1,8 +1,7 @@
 """Integration tests for the multi-core co-simulation."""
 
-import pytest
 
-from repro import AddressMapScheme, SystemConfig
+from repro import SystemConfig
 from repro.cpu.multicore import place_traces, run_cores
 from repro.workloads.trace import AccessTrace
 

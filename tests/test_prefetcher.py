@@ -1,7 +1,6 @@
 """Unit tests for the probabilistic prefetch throttle and candidate
 generation."""
 
-import numpy as np
 import pytest
 
 from repro import AddressMapScheme, MemoryOrganization, RopConfig

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dram.rank import Rank
-from repro.dram.request import ServiceKind
 from repro.dram.timings import DDR4_1600 as T
 
 

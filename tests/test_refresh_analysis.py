@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.stats.collectors import RankEvents
 from repro.stats.refresh_analysis import (
-    WindowAnalysis,
     analyze_rank,
     blocked_per_refresh,
     merge_rank_events,

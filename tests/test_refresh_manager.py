@@ -1,6 +1,5 @@
 """Unit tests for refresh scheduling policies."""
 
-import pytest
 
 from repro import MemoryOrganization, RefreshConfig, RefreshMode
 from repro.dram.refresh import RefreshManager

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.harness.reporting import format_table
 

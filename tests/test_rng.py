@@ -1,7 +1,6 @@
 """Unit tests for the deterministic RNG utilities."""
 
 import numpy as np
-import pytest
 
 from repro.rng import derive_seed, make_rng
 

@@ -1,6 +1,5 @@
 """Integration tests for the ROP engine wired into a memory controller."""
 
-import pytest
 
 from repro import SystemConfig
 from repro.core.state_machine import RopState

@@ -22,7 +22,7 @@ from repro.harness import (
     resolve_jobs,
     run_mix,
 )
-from repro.harness.cache import ArtifactCache, NullCache, get_cache
+from repro.harness.cache import ArtifactCache, NullCache
 from repro.harness.runner import clear_result_memo
 from repro.workloads.spec_profiles import clear_trace_cache
 

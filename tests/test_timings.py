@@ -1,10 +1,9 @@
 """Unit tests for DDR4 timing parameters (Table III values)."""
 
-import math
 
 import pytest
 
-from repro.dram.timings import DDR4_1600, DDR4_2400, DramTimings
+from repro.dram.timings import DDR4_1600, DDR4_2400
 
 
 def test_ddr4_1600_clock_period():
