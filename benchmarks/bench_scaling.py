@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Scaling benchmark: sequential vs parallel fan-out, plus hot-loop speed.
+
+Builds a 16-spec plan (8 benchmarks x {baseline, ROP}) and executes it
+cold at ``jobs=1`` and each ``--jobs`` level against fresh cache
+directories, recording wall-clock and simulated cycles/second.  A
+single-spec timing (trace pre-materialized, best of ``--reps``) isolates
+the simulator hot loop from fan-out effects.  Results are appended to
+``BENCH_runner.json`` so successive PRs accumulate a trajectory.
+
+Parallel speedup only materializes on multi-core hosts (the record
+carries ``cpus`` so single-core CI numbers are interpretable); the
+single-spec cycles/second figure tracks hot-loop regressions anywhere.
+
+Usage::
+
+    python benchmarks/bench_scaling.py [--scale smoke] [--jobs 2 4]
+                                       [--out BENCH_runner.json]
+
+Exit code 0 means every parallel run reproduced the sequential results
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BENCHMARKS = (
+    "lbm", "libquantum", "gcc", "cactusADM", "bzip2", "gobmk", "astar", "omnetpp",
+)
+
+
+def build_specs(scale):
+    from repro import SystemConfig
+    from repro.harness import RunSpec
+
+    base = SystemConfig.single_core()
+    rop = base.with_rop(training_refreshes=scale.training_refreshes)
+    return [
+        RunSpec.benchmark(name, cfg, scale)
+        for name in BENCHMARKS
+        for cfg in (base, rop)
+    ]
+
+
+def reset_state(cache_dir: str) -> None:
+    from repro.harness.runner import clear_result_memo
+    from repro.workloads.spec_profiles import clear_trace_cache
+
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    clear_result_memo()
+    clear_trace_cache()
+
+
+def run_plan(specs, jobs: int, cache_dir: str):
+    """One cold plan execution; returns (digest map, wall s, total cycles)."""
+    import hashlib
+    import pickle
+
+    from repro.harness import execute_plan
+
+    reset_state(cache_dir)
+    t0 = time.perf_counter()
+    results = execute_plan(specs, jobs=jobs)
+    wall = time.perf_counter() - t0
+    digests = {
+        s.key: hashlib.sha256(pickle.dumps(results[s])).hexdigest() for s in specs
+    }
+    cycles = sum(results[s].end_cycle for s in specs)
+    return digests, wall, cycles
+
+
+def single_spec(scale, reps: int):
+    """Hot-loop timing: one ROP spec, trace pre-materialized, best of reps."""
+    from repro import SystemConfig
+    from repro.harness import RunSpec
+    from repro.harness.runner import run_spec
+    from repro.workloads import profile
+
+    cfg = SystemConfig.single_core().with_rop(
+        training_refreshes=scale.training_refreshes
+    )
+    spec = RunSpec.benchmark("lbm", cfg, scale)
+    profile("lbm").memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    best, cycles = float("inf"), 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = run_spec(spec)
+        best = min(best, time.perf_counter() - t0)
+        cycles = result.end_cycle
+    return best, cycles
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", default="smoke", choices=("smoke", "default", "paper"))
+    ap.add_argument("--jobs", type=int, nargs="+", default=[2, 4],
+                    help="parallel worker counts to measure (default: 2 4)")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions for the single-spec timing (default 3)")
+    ap.add_argument("--out", default="BENCH_runner.json",
+                    help="timing-record file (appended to)")
+    args = ap.parse_args()
+
+    from repro.harness import RunScale, last_stats
+
+    scale = RunScale.named(args.scale)
+    specs = build_specs(scale)
+
+    with tempfile.TemporaryDirectory(prefix="repro-scaling-") as tmp:
+        seq_digests, t_seq, cycles = run_plan(specs, 1, os.path.join(tmp, "j1"))
+        print(f"cold jobs=1 : {t_seq:6.2f}s  ({cycles / t_seq / 1e3:,.0f}k cycles/s)")
+        t_jobs = {1: t_seq}
+        for jobs in args.jobs:
+            digests, t_par, _ = run_plan(specs, jobs, os.path.join(tmp, f"j{jobs}"))
+            stats = last_stats()
+            print(f"cold jobs={jobs} : {t_par:6.2f}s  (x{t_seq / t_par:.2f}, "
+                  f"{stats.chunks} chunks)")
+            if digests != seq_digests:
+                print("FAIL parallel results diverged from sequential", file=sys.stderr)
+                return 1
+            t_jobs[jobs] = t_par
+        print(f"OK  jobs=1 and jobs={args.jobs} results are bit-identical")
+
+        reset_state(os.path.join(tmp, "single"))
+        t_single, single_cycles = single_spec(scale, args.reps)
+        print(f"single spec : {t_single:6.3f}s  "
+              f"({single_cycles / t_single / 1e3:,.0f}k cycles/s, lbm+ROP)")
+
+    record = {
+        "bench": "runner_scaling",
+        "scale": args.scale,
+        "cpus": os.cpu_count(),
+        "unique_specs": len(specs),
+        "t_jobs_s": {str(j): round(t, 3) for j, t in sorted(t_jobs.items())},
+        "speedup": {
+            str(j): round(t_seq / t, 3) for j, t in sorted(t_jobs.items()) if j > 1
+        },
+        "plan_cycles_per_sec": round(cycles / t_seq),
+        "single_spec_s": round(t_single, 4),
+        "single_spec_cycles_per_sec": round(single_cycles / t_single),
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,11 +13,18 @@ performance trajectory.
 
 Usage::
 
-    python scripts/bench_smoke.py [--jobs N] [--out BENCH_runner.json]
+    python scripts/bench_smoke.py [--jobs N] [--check] [--out BENCH_runner.json]
 
-Exit code 0 means both correctness assertions held.  Note the ≥2×
-parallel speedup target only materializes on multi-core hosts; the
-recorded ``speedup`` field tracks it either way.
+Exit code 0 means both correctness assertions held.  Each run is timed
+in three phases — *setup* (cache repoint, memo clearing, scale
+resolution), *compute* (the sweep itself) and *teardown* (state reset) —
+so a regression shows where it landed, not just that it happened.
+
+The ≥2× parallel speedup target only materializes on multi-core hosts;
+the recorded ``speedup`` field tracks it either way.  ``--check``
+additionally *fails* (nonzero exit) when the parallel run is slower than
+sequential on a plan of ≥ 8 unique specs — a perf gate for hosts where
+the speedup should exist.
 """
 
 from __future__ import annotations
@@ -35,27 +42,50 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 BENCHMARKS = ("lbm", "libquantum", "bzip2", "gobmk")
 SRAM_SIZES = (16, 64)
 
+#: --check only gates plans at least this big: tiny plans are dominated
+#: by pool startup, where parallel is legitimately slower
+CHECK_MIN_SPECS = 8
 
-def run_sweep(jobs: int, cache_dir: str) -> tuple[list[dict], float, "object"]:
+
+def run_sweep(jobs: int, cache_dir: str) -> tuple[list[dict], dict, "object"]:
     """One cold/warm fig7/8/9 sweep against ``cache_dir``; returns
-    (rows, wall seconds, runner stats)."""
+    (rows, per-phase wall seconds, runner stats)."""
     from repro.harness import fig7_8_9_rop_comparison, last_stats, scale_from_env
     from repro.harness.runner import clear_result_memo
     from repro.workloads.spec_profiles import clear_trace_cache
 
+    t0 = time.perf_counter()
     os.environ["REPRO_CACHE_DIR"] = cache_dir
     clear_result_memo()
     clear_trace_cache()
     scale = scale_from_env("smoke")
-    t0 = time.perf_counter()
+    t1 = time.perf_counter()
     rows = fig7_8_9_rop_comparison(BENCHMARKS, scale, sram_sizes=SRAM_SIZES, jobs=jobs)
-    return rows, time.perf_counter() - t0, last_stats()
+    t2 = time.perf_counter()
+    clear_trace_cache()  # drop mmap/trace state so the next sweep is cold
+    t3 = time.perf_counter()
+    phases = {
+        "setup_s": t1 - t0,
+        "compute_s": t2 - t1,
+        "teardown_s": t3 - t2,
+        "total_s": t3 - t0,
+    }
+    return rows, phases, last_stats()
+
+
+def _phase_line(phases: dict) -> str:
+    return (f"[setup {phases['setup_s']:.2f}s + compute {phases['compute_s']:.2f}s"
+            f" + teardown {phases['teardown_s']:.2f}s]")
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=2,
                     help="worker count for the parallel run (default 2)")
+    ap.add_argument("--check", action="store_true",
+                    help=f"exit nonzero when the parallel run shows no "
+                         f"speedup on a plan of >= {CHECK_MIN_SPECS} unique "
+                         f"specs (perf gate for multi-core hosts)")
     ap.add_argument("--out", default="BENCH_runner.json",
                     help="timing-record file (appended to)")
     args = ap.parse_args()
@@ -65,21 +95,27 @@ def main() -> int:
         seq_dir = os.path.join(tmp, "seq")
         par_dir = os.path.join(tmp, "par")
 
-        rows_seq, t_seq, stats_seq = run_sweep(1, seq_dir)
+        rows_seq, ph_seq, stats_seq = run_sweep(1, seq_dir)
+        t_seq = ph_seq["compute_s"]
         print(f"cold jobs=1 : {t_seq:6.2f}s  "
-              f"({stats_seq.executed} simulated, {stats_seq.hits} cached)")
+              f"({stats_seq.executed} simulated, {stats_seq.hits} cached)  "
+              f"{_phase_line(ph_seq)}")
 
-        rows_par, t_par, stats_par = run_sweep(args.jobs, par_dir)
+        rows_par, ph_par, stats_par = run_sweep(args.jobs, par_dir)
+        t_par = ph_par["compute_s"]
         print(f"cold jobs={args.jobs} : {t_par:6.2f}s  "
-              f"({stats_par.executed} simulated, {stats_par.hits} cached)")
+              f"({stats_par.executed} simulated, {stats_par.hits} cached)  "
+              f"{_phase_line(ph_par)}")
 
         assert json.dumps(rows_seq, sort_keys=True) == json.dumps(rows_par, sort_keys=True), \
             "parallel run diverged from sequential run"
         print("OK  jobs=1 and parallel results are identical")
 
-        rows_warm, t_warm, stats_warm = run_sweep(1, par_dir)
+        rows_warm, ph_warm, stats_warm = run_sweep(1, par_dir)
+        t_warm = ph_warm["compute_s"]
         print(f"warm cache  : {t_warm:6.2f}s  "
-              f"({stats_warm.executed} simulated, {stats_warm.hits} cached)")
+              f"({stats_warm.executed} simulated, {stats_warm.hits} cached)  "
+              f"{_phase_line(ph_warm)}")
         assert stats_warm.executed == 0, "warm cache re-ran simulations"
         assert stats_warm.hits == stats_warm.unique, "warm cache was not 100% hits"
         assert json.dumps(rows_warm, sort_keys=True) == json.dumps(rows_seq, sort_keys=True), \
@@ -97,6 +133,11 @@ def main() -> int:
         "t_sequential_s": round(t_seq, 3),
         "t_parallel_s": round(t_par, 3),
         "t_warm_s": round(t_warm, 3),
+        "phases": {
+            "sequential": {k: round(v, 3) for k, v in ph_seq.items()},
+            "parallel": {k: round(v, 3) for k, v in ph_par.items()},
+            "warm": {k: round(v, 3) for k, v in ph_warm.items()},
+        },
         "speedup": round(t_seq / t_par, 3) if t_par > 0 else None,
         "warm_speedup": round(t_seq / t_warm, 1) if t_warm > 0 else None,
     }
@@ -111,6 +152,11 @@ def main() -> int:
     out.write_text(json.dumps(history, indent=2) + "\n")
     print(f"recorded → {out} (speedup ×{record['speedup']}, "
           f"warm ×{record['warm_speedup']})")
+    if args.check and stats_par.unique >= CHECK_MIN_SPECS and record["speedup"] < 1.0:
+        print(f"CHECK FAILED: jobs={args.jobs} ran {1 / record['speedup']:.2f}x "
+              f"slower than sequential on {stats_par.unique} unique specs "
+              f"(host has {os.cpu_count()} CPUs)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -72,6 +72,8 @@ def _runner_opts(args) -> int | None:
         overrides["keep_going"] = False
     if getattr(args, "audit", False):
         overrides["audit"] = True
+    if getattr(args, "chunk", None) is not None:
+        overrides["chunk_size"] = args.chunk if args.chunk > 0 else None
     set_execution_policy(dataclasses.replace(policy, **overrides) if overrides else policy)
     return getattr(args, "jobs", None)
 
@@ -256,6 +258,39 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """cProfile one spec's simulation and print the hottest functions."""
+    import cProfile
+    import pstats
+
+    from .harness import RunSpec
+    from .harness.runner import run_spec
+
+    scale = _scale(args)
+    _runner_opts(args)
+    cfg = SystemConfig.single_core()
+    if not args.baseline:
+        cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
+    spec = RunSpec.benchmark(args.benchmark, cfg, scale)
+    if not args.include_tracegen:
+        # materialize the trace first: the steady-state hot path being
+        # tuned is the simulation, not one-time trace generation
+        profile(args.benchmark).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    prof = cProfile.Profile()
+    prof.enable()
+    result = run_spec(spec)
+    prof.disable()
+    print(f"{args.benchmark}: IPC {result.ipc:.4f}, "
+          f"{result.stats.demand_accesses} demand accesses, "
+          f"{result.end_cycle} controller cycles")
+    stats = pstats.Stats(prof)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out} (load with pstats or snakeviz)")
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from .workloads import characterize
 
@@ -302,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="disable the persistent artifact cache "
                              "(REPRO_CACHE_DIR) for this invocation")
+        sp.add_argument("--chunk", type=int, default=None, metavar="K",
+                        help="specs batched per worker dispatch "
+                             "(default: REPRO_CHUNK or auto-sized from "
+                             "plan size and --jobs; 0 restores auto)")
         sp.add_argument("--spec-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-spec wall-clock limit; a hung worker is "
@@ -379,6 +418,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "(e.g. rop. or trace.)")
     common(sp)
     sp.set_defaults(func=_cmd_trace)
+
+    sp = sub.add_parser(
+        "profile",
+        help="cProfile one benchmark's simulation and print the hot spots",
+    )
+    sp.add_argument("benchmark")
+    sp.add_argument("--top", type=int, default=25, metavar="N",
+                    help="rows of the pstats report to print (default 25)")
+    sp.add_argument("--sort", default="tottime",
+                    choices=("tottime", "cumulative", "ncalls"),
+                    help="pstats sort order (default tottime)")
+    sp.add_argument("--baseline", action="store_true",
+                    help="profile the baseline system instead of ROP")
+    sp.add_argument("--include-tracegen", action="store_true",
+                    help="profile trace generation + LLC filtering too "
+                         "(default: pre-materialize the trace so only the "
+                         "simulation is profiled)")
+    sp.add_argument("--out", default=None, metavar="FILE",
+                    help="also dump raw cProfile stats to FILE")
+    common(sp)
+    sp.set_defaults(func=_cmd_profile)
 
     sp = sub.add_parser(
         "characterize", help="trace statistics (MPKI, burstiness, predictability)"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SystemConfig
-from ..dram.request import Request
+from ..dram.request import ReqKind, Request
 from ..rng import make_rng
 from ..telemetry import NULL_SINK, Category, Kind, PhaseCode, SkipReason
 from .prediction_table import PredictionTable
@@ -103,6 +103,9 @@ class RopEngine:
         self._controller = None
         self._refresh_mgr = None
         self._mapper = None
+        self._ref_first: dict[tuple[int, int], int] = {}
+        self._ref_period = 0
+        self._columns = org.columns
         self.sink = NULL_SINK
         self._t_rop = False
         #: cycle of the most recent hook call; stamps events (retrains,
@@ -136,6 +139,13 @@ class RopEngine:
         self._controller = controller
         self._refresh_mgr = controller.refresh_mgr
         self._mapper = controller.mapper
+        # per-rank refresh grid, cached for the per-request window check:
+        # first_tick and period are pure functions of the configuration
+        self._ref_first = {
+            key: self._refresh_mgr.first_tick(*key) for key in self.profilers
+        }
+        self._ref_period = self._refresh_mgr.period
+        self._columns = controller.mapper.org.columns
 
     def next_refresh_due(self, channel: int, rank: int, cycle: int) -> int:
         """Next tREFI grid tick for a rank at or after ``cycle``."""
@@ -157,13 +167,22 @@ class RopEngine:
         if self._t_rop:
             self._now = cycle
         self._close_stale_locks(cycle)
-        key = (req.coord.channel, req.coord.rank)
-        self.profilers[key].on_request(cycle, req.is_read)
-        if (req.is_read or not self.rop.table_reads_only) and self.in_observational_window(
-            *key, cycle
-        ):
-            offset = req.coord.row * self._mapper.org.columns + req.coord.col
-            self.tables[key].update(req.coord.bank, offset)
+        coord = req.coord
+        is_read = req.kind is ReqKind.READ
+        key = (coord.channel, coord.rank)
+        self.profilers[key].on_request(cycle, is_read)
+        if is_read or not self.rop.table_reads_only:
+            # inlined in_observational_window / next_refresh_due over the
+            # cached per-rank refresh grid (hot path: every demand request)
+            first = self._ref_first[key]
+            if cycle <= first:
+                due = first
+            else:
+                period = self._ref_period
+                due = first - ((first - cycle) // period) * period
+            if due - cycle <= self.window:
+                offset = coord.row * self._columns + coord.col
+                self.tables[key].update(coord.bank, offset)
 
     def sram_lookup(self, line: int) -> bool:
         """Probe the buffer (controller hook; no side effects)."""

@@ -50,6 +50,12 @@ class SramBuffer:
     def __len__(self) -> int:
         return len(self._lines)
 
+    @property
+    def lines(self) -> set[int]:
+        """The live line set (read-only by convention; hot-path membership
+        tests borrow it so the scheduler sweep avoids a call per request)."""
+        return self._lines
+
     def __contains__(self, line: int) -> bool:
         return line in self._lines
 

@@ -18,6 +18,8 @@ quantity the paper's weighted-speedup metric (Eq. 4) is built from.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import CoreConfig
 from ..dram.memory_system import MemorySystem
 from ..workloads.trace import AccessTrace
@@ -52,9 +54,18 @@ class Core:
         self.writes_issued = 0
         self.stall_events = 0
         # hot-loop local copies of the trace arrays
-        self._gaps = trace.gaps.tolist()
         self._lines = trace.lines.tolist()
         self._writes = trace.writes.tolist()
+        # instruction gaps pre-scaled to CPU cycles: int(gap * base_cpi)
+        # element-wise, exactly the per-op arithmetic the replay loop used
+        # to do (gaps are non-negative, so trunc ≡ int())
+        scaled = trace.gaps * cfg.base_cpi
+        if scaled.dtype.kind == "f":
+            scaled = np.trunc(scaled)
+        self._gap_cpu = scaled.astype(np.int64).tolist()
+        # whole-trace vectorized address pre-decode: the controller then
+        # skips its per-request shift/mask decode chain
+        self._coords = memory.controller.mapper.decode_coords(trace.lines)
 
     # ------------------------------------------------------------------ driving
 
@@ -72,10 +83,11 @@ class Core:
 
     def _advance_to_next_op(self) -> None:
         """Account the instruction gap and schedule the next access event."""
-        gap_cpu = int(self._gaps[self._idx] * self.cfg.base_cpi)
-        self._cpu_time += gap_cpu
-        when = max(self._mem_cycle(), self.events.now)
-        self.events.push(when, self._do_op)
+        self._cpu_time += self._gap_cpu[self._idx]
+        m = self.cfg.cpu_clock_mult
+        when = -(-self._cpu_time // m)  # inlined _mem_cycle (hot path)
+        now = self.events.now
+        self.events.push(when if when > now else now, self._do_op)
 
     def _do_op(self, cycle: int) -> None:
         """Issue the current trace access into the memory system.
@@ -87,11 +99,17 @@ class Core:
         i = self._idx
         line = self._lines[i]
         if self._writes[i]:
-            self.memory.submit_write(line, cycle, core_id=self.core_id)
+            self.memory.submit_write(
+                line, cycle, core_id=self.core_id, coord=self._coords[i]
+            )
             self.writes_issued += 1
         else:
             self.memory.submit_read(
-                line, cycle, core_id=self.core_id, on_complete=self._on_read_done
+                line,
+                cycle,
+                core_id=self.core_id,
+                on_complete=self._on_read_done,
+                coord=self._coords[i],
             )
             self.reads_issued += 1
             self._outstanding += 1

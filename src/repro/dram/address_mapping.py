@@ -28,6 +28,8 @@ inverses, which the property tests rely on.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import AddressMapScheme, MemoryOrganization
 from .request import Coord
 
@@ -106,6 +108,65 @@ class AddressMapper:
             line >>= self._row_high
             rank = line & (org.ranks - 1)
         return Coord(chan, rank, bank, (row_hi << self._row_low) | row_lo, col)
+
+    def decode_array(
+        self, lines: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Vectorized :meth:`decode`: ``(channel, rank, bank, row, col)`` arrays.
+
+        Element-for-element identical to calling :meth:`decode` on each
+        line (the property tests assert it); used by the CPU cores to
+        pre-decode a whole trace once instead of shift/masking per request
+        in the simulation hot loop.
+        """
+        a = np.asarray(lines, dtype=np.int64) & ((1 << self.total_bits) - 1)
+        org = self.org
+        if self.scheme is AddressMapScheme.ROW_RANK_BANK_COL:
+            col = a & (org.columns - 1)
+            a = a >> self._col_bits
+            bank = a & (org.banks - 1)
+            a = a >> self._bank_bits
+            rank = a & (org.ranks - 1)
+            a = a >> self._rank_bits
+            chan = a & (org.channels - 1)
+            a = a >> self._chan_bits
+            row = a & (org.rows - 1)
+            return chan, rank, bank, row, col
+        col = a & (org.columns - 1)
+        a = a >> self._col_bits
+        row_lo = a & ((1 << self._row_low) - 1)
+        a = a >> self._row_low
+        bank = a & (org.banks - 1)
+        a = a >> self._bank_bits
+        chan = a & (org.channels - 1)
+        a = a >> self._chan_bits
+        if self.scheme is AddressMapScheme.BANK_LOCALITY:
+            rank = a & (org.ranks - 1)
+            a = a >> self._rank_bits
+            row_hi = a & ((1 << self._row_high) - 1)
+        else:  # RANK_PARTITIONED: rank on top
+            row_hi = a & ((1 << self._row_high) - 1)
+            a = a >> self._row_high
+            rank = a & (org.ranks - 1)
+        return chan, rank, bank, (row_hi << self._row_low) | row_lo, col
+
+    def decode_coords(self, lines: "np.ndarray") -> list[Coord]:
+        """Pre-decode many lines into a list of :class:`Coord` objects.
+
+        The whole-trace form of :meth:`decode`; the returned list is
+        indexed by trace position in the core's replay loop.
+        """
+        chan, rank, bank, row, col = self.decode_array(lines)
+        return list(
+            map(
+                Coord,
+                chan.tolist(),
+                rank.tolist(),
+                bank.tolist(),
+                row.tolist(),
+                col.tolist(),
+            )
+        )
 
     # -- encoding -----------------------------------------------------------------
 

@@ -105,9 +105,16 @@ class MemoryController:
         cycle: int,
         core_id: int = 0,
         on_complete: Callable[[int], None] | None = None,
+        coord: Coord | None = None,
     ) -> Request:
-        """Enqueue one demand request at ``cycle`` and return it."""
-        coord = self.mapper.decode(line)
+        """Enqueue one demand request at ``cycle`` and return it.
+
+        ``coord`` lets a caller that pre-decoded the line (the CPU cores
+        vector-decode whole traces up front) skip the per-request
+        shift/mask chain; it must equal ``self.mapper.decode(line)``.
+        """
+        if coord is None:
+            coord = self.mapper.decode(line)
         req = Request(self._rid, kind, line, coord, cycle, core_id, on_complete)
         self._rid += 1
         ch = self.channels[coord.channel]
@@ -115,7 +122,7 @@ class MemoryController:
         if kind is ReqKind.READ:
             self.stats.reads += 1
             self.read_q[coord.channel].append(req)
-            if rank.is_locked(cycle):
+            if rank.lock_start <= cycle < rank.locked_until:
                 self.stats.reads_arriving_in_lock += 1
                 if self.rop is not None:
                     self.rop.on_read_arrival_in_lock(coord.channel, coord.rank, cycle)
@@ -141,31 +148,47 @@ class MemoryController:
     # ------------------------------------------------------------------ scheduling
 
     def _try_issue(self, ci: int, cycle: int) -> None:
-        """Issue every request that can start now; schedule a retry otherwise."""
+        """Issue every request that can start now; schedule a retry otherwise.
+
+        The hottest loop in the simulator: bound methods and attributes
+        are localized once per call, and the SRAM sweep is skipped while
+        the prefetch buffer is empty (every lookup would miss).
+        """
         ch = self.channels[ci]
         rq, wq = self.read_q[ci], self.write_q[ci]
         sched = self.cfg.scheduler
+        drain_high, drain_low = sched.write_drain_high, sched.write_drain_low
+        drain = self._drain
+        rop = self.rop
+        select, issue = self._select, self._issue
         progress = True
         while progress:
             progress = False
             # SRAM service sweep: any queued read present in the prefetch
-            # buffer completes from SRAM, frozen rank or not.
-            if self.rop is not None and rq:
-                i = 0
-                while i < len(rq):
-                    r = rq[i]
-                    if self.rop.sram_lookup(r.line):
-                        rq.pop(i)
-                        self._complete_from_sram(r, cycle)
-                        progress = True
-                    else:
-                        i += 1
+            # buffer completes from SRAM, frozen rank or not.  The sweep
+            # inlines ``rop.sram_lookup``: training state cannot change
+            # within a sweep and an empty buffer cannot hit, so both are
+            # checked once and membership is tested against the live line
+            # set directly — bit-identical, one call per hit instead of
+            # one per queued read.
+            if rop is not None and rq and not rop.sm.is_training:
+                buffered = rop.buffer.lines
+                if buffered:
+                    i = 0
+                    while i < len(rq):
+                        r = rq[i]
+                        if r.line in buffered:
+                            rq.pop(i)
+                            self._complete_from_sram(r, cycle)
+                            progress = True
+                        else:
+                            i += 1
             # write-drain hysteresis
-            if not self._drain[ci] and len(wq) >= sched.write_drain_high:
-                self._drain[ci] = True
-            elif self._drain[ci] and len(wq) <= sched.write_drain_low:
-                self._drain[ci] = False
-            if self._drain[ci]:
+            if not drain[ci] and len(wq) >= drain_high:
+                drain[ci] = True
+            elif drain[ci] and len(wq) <= drain_low:
+                drain[ci] = False
+            if drain[ci]:
                 queue = wq
             elif rq:
                 queue = rq
@@ -173,13 +196,13 @@ class MemoryController:
                 queue = wq  # work-conserving: no reads pending, stream writes
             else:
                 break
-            idx, wake = self._select(ch, queue, cycle)
+            idx, wake = select(ch, queue, cycle)
             if idx is None:
                 if queue is rq and wq:
                     # reads all gated; opportunistically try a write
-                    widx, wwake = self._select(ch, wq, cycle)
+                    widx, wwake = select(ch, wq, cycle)
                     if widx is not None:
-                        self._issue(ci, wq.pop(widx), cycle)
+                        issue(ci, wq.pop(widx), cycle)
                         progress = True
                         continue
                     wake = min(w for w in (wake, wwake) if w is not None) if (
@@ -188,7 +211,7 @@ class MemoryController:
                 if wake is not None:
                     self._schedule_retry(ci, wake)
                 break
-            self._issue(ci, queue.pop(idx), cycle)
+            issue(ci, queue.pop(idx), cycle)
             progress = True
 
     def _select(
@@ -202,20 +225,22 @@ class MemoryController:
         """
         first_ready: int | None = None
         wake: int | None = None
+        ranks = ch.ranks
         for i, r in enumerate(queue):
             c = r.coord
-            rank = ch.ranks[c.rank]
-            if rank.is_locked(cycle):
+            rank = ranks[c.rank]
+            # inlined Rank.is_locked (hot path)
+            if rank.lock_start <= cycle < rank.locked_until:
                 gate = rank.locked_until
             else:
                 bank = rank.banks[c.bank]
-                if bank.ready_at <= cycle:
+                gate = bank.ready_at
+                if gate <= cycle:
                     if bank.open_row == c.row:
                         return i, None  # oldest ready row hit wins outright
                     if first_ready is None:
                         first_ready = i
                     continue
-                gate = bank.ready_at
             if wake is None or gate < wake:
                 wake = gate
         return (first_ready, None) if first_ready is not None else (None, wake)
@@ -225,8 +250,10 @@ class MemoryController:
         ch = self.channels[ci]
         c = req.coord
         rank = ch.ranks[c.rank]
+        t = self.t
+        stats = self.stats
         is_write = req.kind is not ReqKind.READ and req.kind is not ReqKind.PREFETCH
-        plan = rank.plan(cycle, c.bank, c.row, is_write, self.t)
+        plan = rank.plan(cycle, c.bank, c.row, is_write, t)
         shift = ch.bus_free_at - plan.data_start
         if shift > 0:
             plan = AccessPlan(
@@ -236,18 +263,19 @@ class MemoryController:
                 plan.act_cycle,
                 plan.category,
             )
-        rank.commit(plan, c.bank, c.row, is_write, self.t)
+        rank.commit(plan, c.bank, c.row, is_write, t)
         ch.bus_free_at = plan.data_end
         ch.busy_cycles += plan.data_end - plan.data_start
         req.issue_cycle = plan.col_cycle
         req.complete_cycle = plan.data_end
         req.service = plan.category
-        if plan.category is ServiceKind.DRAM_HIT:
-            self.stats.row_hits += 1
-        elif plan.category is ServiceKind.DRAM_CLOSED:
-            self.stats.row_closed += 1
+        category = plan.category
+        if category is ServiceKind.DRAM_HIT:
+            stats.row_hits += 1
+        elif category is ServiceKind.DRAM_CLOSED:
+            stats.row_closed += 1
         else:
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
         if self._t_svc:
             self.sink.emit(
                 Category.SERVICE,
@@ -269,11 +297,13 @@ class MemoryController:
 
     def _account_read(self, req: Request, cycle: int) -> None:
         lat = cycle - req.arrival
-        self.stats.reads_completed += 1
-        self.stats.read_latency_sum += lat
-        if lat > self.stats.read_latency_max:
-            self.stats.read_latency_max = lat
-        self.stats.end_cycle = max(self.stats.end_cycle, cycle)
+        stats = self.stats
+        stats.reads_completed += 1
+        stats.read_latency_sum += lat
+        if lat > stats.read_latency_max:
+            stats.read_latency_max = lat
+        if cycle > stats.end_cycle:
+            stats.end_cycle = cycle
         if self._t_svc:
             self.sink.emit(
                 Category.SERVICE,
@@ -470,12 +500,15 @@ class MemoryController:
         ch = self.channels[ci]
         rank = ch.ranks[ri]
         done = cycle
-        ordered = sorted(lines, key=lambda ln: self.mapper.decode(ln)[2:])
+        # one vectorized decode for the whole batch; the coords are reused
+        # for both the (bank, row, col) coalescing sort and the fetches
+        coords = dict(zip(lines, self.mapper.decode_coords(lines)))
+        ordered = sorted(lines, key=lambda ln: coords[ln][2:])
         # lines still resident from the previous arming are free — only new
         # lines cost a DRAM fetch
         to_fetch = [ln for ln in ordered if not self.rop.sram_lookup(ln)]
         for line in to_fetch:
-            c = self.mapper.decode(line)
+            c = coords[line]
             plan = rank.plan(cycle, c.bank, c.row, False, self.t)
             shift = ch.bus_free_at - plan.data_start
             if shift > 0:

@@ -95,13 +95,20 @@ class MemorySystem:
         cycle: int,
         core_id: int = 0,
         on_complete: Callable[[int], None] | None = None,
+        coord=None,
     ) -> Request:
-        """Enqueue a demand read for cache line ``line`` at ``cycle``."""
-        return self.controller.submit(ReqKind.READ, line, cycle, core_id, on_complete)
+        """Enqueue a demand read for cache line ``line`` at ``cycle``.
 
-    def submit_write(self, line: int, cycle: int, core_id: int = 0) -> Request:
+        ``coord`` optionally carries the pre-decoded DRAM coordinates of
+        ``line`` (see :meth:`MemoryController.submit`).
+        """
+        return self.controller.submit(
+            ReqKind.READ, line, cycle, core_id, on_complete, coord
+        )
+
+    def submit_write(self, line: int, cycle: int, core_id: int = 0, coord=None) -> Request:
         """Enqueue a demand write for cache line ``line`` at ``cycle``."""
-        return self.controller.submit(ReqKind.WRITE, line, cycle, core_id)
+        return self.controller.submit(ReqKind.WRITE, line, cycle, core_id, None, coord)
 
     def schedule_read(
         self,

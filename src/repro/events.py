@@ -80,14 +80,22 @@ class EventQueue:
         scheduled exactly at ``until`` still runs (the bound is inclusive).
         """
         dispatched = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heapq.heappop
+        # the dispatch is step() inlined: one Python call per event saved
+        # on the hottest loop in the simulator
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
             if until is None and self._work == 0:
                 break
             if max_events is not None and dispatched >= max_events:
                 break
-            self.step()
+            cycle, _, housekeeping, action = pop(heap)
+            self.now = cycle
+            if not housekeeping:
+                self._work -= 1
+            action(cycle)
             dispatched += 1
         return dispatched
 

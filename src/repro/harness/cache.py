@@ -107,6 +107,8 @@ class ArtifactCache:
         self.misses = 0
         self.corrupt = 0
         self.write_errors = 0
+        self.bytes_written = 0  #: payload bytes persisted (size on disk)
+        self.bytes_read = 0  #: payload bytes served from disk
         self._warned_unwritable = False
 
     @property
@@ -137,6 +139,10 @@ class ArtifactCache:
                 pass
             return default
         self.hits += 1
+        try:
+            self.bytes_read += path.stat().st_size
+        except OSError:
+            pass
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -148,6 +154,7 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    self.bytes_written += fh.tell()
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -192,6 +199,8 @@ class NullCache:
     misses = 0
     corrupt = 0
     write_errors = 0
+    bytes_written = 0
+    bytes_read = 0
 
     @property
     def enabled(self) -> bool:

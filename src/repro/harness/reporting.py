@@ -186,6 +186,12 @@ def render_runner_stats(stats) -> str:
         f"simulated {stats.executed} with jobs={stats.jobs} | "
         f"wall {stats.wall_s:.2f}s"
     )
+    chunks = getattr(stats, "chunks", 0)
+    if chunks and stats.jobs > 1:
+        line += f" | {chunks} chunks"
+    written = getattr(stats, "cache_bytes_written", 0)
+    if written:
+        line += f" | cache +{written / (1 << 20):.1f} MiB"
     # fault-tolerance counters only appear when something went wrong, so
     # the clean-run line stays stable
     extras = [

@@ -14,15 +14,26 @@ of looping, a driver *declares* its grid as :class:`RunSpec` points on a
   env var or the ``jobs=`` argument; ``jobs=1`` runs in-process,
   preserving the sequential behaviour bit for bit — determinism is
   seeded, so parallel and sequential execution produce identical
-  results).
+  results);
+* before fanning out, the parent **prewarms the trace plane**
+  (:mod:`~repro.harness.trace_plane`): every unique memory trace is
+  materialized once as ``.npy`` artifacts that workers memory-map
+  instead of regenerating per process;
+* specs are dispatched in **chunks** of K per future (auto-sized from
+  plan size and worker count, or pinned via
+  ``ExecutionPolicy.chunk_size`` / ``REPRO_CHUNK``), amortizing
+  submission and result-pipe overhead on large plans.
 
-Execution is **fault tolerant**: each spec runs behind its own future,
-so one worker crash, hang or pathological config loses only that spec.
-The behaviour is governed by :class:`ExecutionPolicy`:
+Execution is **fault tolerant**: outcomes are tracked per *spec*, never
+per chunk, so one worker crash, hang or pathological config loses only
+the culprit spec.  The behaviour is governed by
+:class:`ExecutionPolicy`:
 
 * failures are classified (:class:`SpecFailure` — ``transient``,
-  ``worker-lost``, ``timeout``, ``invariant``, ``error``) and transient
-  ones are retried with exponential backoff up to ``max_attempts``;
+  ``worker-lost``, ``timeout``, ``invariant``, ``error``) *inside the
+  worker*, so a deterministic error in one spec never poisons its
+  chunk-mates; transient failures are retried with exponential backoff
+  up to ``max_attempts``, resubmitting only the failed spec;
 * a broken process pool is rebuilt (suspect specs are re-run one at a
   time to isolate the culprit) and, past ``max_pool_rebuilds``,
   execution degrades to in-process;
@@ -271,6 +282,51 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     return result
 
 
+def _run_chunk(specs: list[RunSpec], audit: bool) -> list[tuple]:
+    """Worker entry for a batch of specs: per-spec outcome records.
+
+    Failures are captured and classified *here*, in the worker, so a
+    deterministic error in one spec is attributed to that spec alone and
+    never costs its chunk-mates their results.  Each record is either
+    ``(key, "ok", result)`` or ``(key, "err", kind, exc_type, message,
+    traceback)`` — exception *strings*, not exception objects, so a
+    result pipe can never fail on an unpicklable exception.  A worker
+    that dies outright (crash, OOM kill) returns nothing; the parent
+    sees ``BrokenExecutor`` and falls back to serial culprit isolation.
+    """
+    records: list[tuple] = []
+    for spec in specs:
+        try:
+            result = run_spec(spec, audit=audit)
+        except Exception as exc:
+            records.append(
+                (
+                    spec.key,
+                    "err",
+                    classify_failure(exc),
+                    type(exc).__name__,
+                    str(exc),
+                    "".join(_traceback.format_exception(exc)),
+                )
+            )
+        else:
+            records.append((spec.key, "ok", result))
+    return records
+
+
+def _auto_chunk_size(n_specs: int, jobs: int) -> int:
+    """Specs per dispatch when the policy doesn't pin one.
+
+    Targets ~4 dispatch waves per worker: enough batching to amortize
+    pickle/submit overhead on big plans, enough granularity that one
+    slow chunk can't serialize the tail.  Small plans (≤ one spec per
+    worker) stay unbatched.
+    """
+    if jobs <= 1 or n_specs <= jobs:
+        return 1
+    return max(1, min(8, n_specs // (jobs * 4)))
+
+
 # --------------------------------------------------------------- policy
 
 
@@ -299,6 +355,16 @@ def _env_int(name: str, default: int) -> int:
         raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
 
 
+def _env_opt_int(name: str, default: int | None) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw or raw.lower() == "auto":
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer or 'auto', got {raw!r}") from None
+
+
 @dataclass(frozen=True)
 class ExecutionPolicy:
     """Fault-tolerance knobs for one :func:`execute_plan` call.
@@ -321,11 +387,16 @@ class ExecutionPolicy:
     max_pool_rebuilds: int = 5
     #: invariant-audit every simulated result before it enters the cache
     audit: bool = False
+    #: specs batched per worker dispatch (``None`` = auto-size from plan
+    #: size and worker count; forced to 1 while ``spec_timeout_s`` is set,
+    #: so the deadline still attributes to exactly one spec)
+    chunk_size: int | None = None
 
     @classmethod
     def from_env(cls) -> "ExecutionPolicy":
         """Policy from ``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF`` /
-        ``REPRO_SPEC_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_AUDIT``."""
+        ``REPRO_SPEC_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_AUDIT`` /
+        ``REPRO_CHUNK``."""
         backoff = _env_float("REPRO_RETRY_BACKOFF", cls.backoff_s)
         return cls(
             max_attempts=_env_int("REPRO_RETRIES", cls.max_attempts),
@@ -333,6 +404,7 @@ class ExecutionPolicy:
             spec_timeout_s=_env_float("REPRO_SPEC_TIMEOUT", None),
             keep_going=_env_flag("REPRO_KEEP_GOING"),
             audit=_env_flag("REPRO_AUDIT"),
+            chunk_size=_env_opt_int("REPRO_CHUNK", None),
         )
 
 
@@ -413,18 +485,6 @@ def _is_retryable(kind: str) -> bool:
     return kind in ("transient", "worker-lost")
 
 
-def _spec_failure(spec: RunSpec, exc: BaseException, kind: str, attempts: int) -> SpecFailure:
-    return SpecFailure(
-        key=spec.key,
-        workloads=spec.workloads,
-        kind=kind,
-        exc_type=type(exc).__name__,
-        message=str(exc),
-        traceback="".join(_traceback.format_exception(exc)),
-        attempts=attempts,
-    )
-
-
 # ----------------------------------------------------------------- stats
 
 
@@ -444,6 +504,8 @@ class RunnerStats:
     failed: int = 0  #: specs that failed terminally (post-retry)
     pool_rebuilds: int = 0  #: broken process pools replaced
     cache_write_errors: int = 0  #: artifact-cache puts that failed (results not persisted)
+    chunks: int = 0  #: worker dispatches (futures) the plan's specs were batched into
+    cache_bytes_written: int = 0  #: bytes persisted to disk (results + trace plane)
 
     @property
     def hits(self) -> int:
@@ -469,6 +531,8 @@ class RunnerStats:
         self.failed += other.failed
         self.pool_rebuilds += other.pool_rebuilds
         self.cache_write_errors += other.cache_write_errors
+        self.chunks += other.chunks
+        self.cache_bytes_written += other.cache_bytes_written
 
 
 #: in-process L1 over the disk cache: spec key → result
@@ -621,10 +685,19 @@ class _PlanRunner:
         self.results: dict[str, MulticoreResult] = {}
         self.failures: dict[str, SpecFailure] = {}
         self.pool: ProcessPoolExecutor | None = None
-        self.pending: dict[Future, str] = {}
+        #: in-flight chunks: future → the spec keys it carries
+        self.pending: dict[Future, tuple[str, ...]] = {}
         self.deadlines: dict[Future, float] = {}
         self.aborted = False  # fail-fast tripped
         self.interrupted: str | None = None  # signal name
+        # per-spec timeouts need the deadline to name exactly one spec,
+        # so batching is disabled while one is armed
+        if policy.spec_timeout_s is not None:
+            self.chunk = 1
+        elif policy.chunk_size is not None:
+            self.chunk = max(1, policy.chunk_size)
+        else:
+            self.chunk = _auto_chunk_size(len(todo), jobs)
 
     # -- shared bookkeeping -------------------------------------------------
 
@@ -635,12 +708,44 @@ class _PlanRunner:
         self.cache.put(key, result)
 
     def _record_failure(self, key: str, exc: BaseException, kind: str) -> None:
+        self._record_failure_info(
+            key,
+            kind,
+            type(exc).__name__,
+            str(exc),
+            "".join(_traceback.format_exception(exc)),
+        )
+
+    def _record_failure_info(
+        self, key: str, kind: str, exc_type: str, message: str, tb: str
+    ) -> None:
+        """Terminal-failure bookkeeping from already-stringified exception
+        info (worker-side chunk records arrive in this form)."""
         if kind == "timeout":
             self.stats.timeouts += 1
-        self.failures[key] = _spec_failure(self.specs[key], exc, kind, self.attempts[key])
+        self.failures[key] = SpecFailure(
+            key=key,
+            workloads=self.specs[key].workloads,
+            kind=kind,
+            exc_type=exc_type,
+            message=message,
+            traceback=tb,
+            attempts=self.attempts[key],
+        )
         self.stats.failed += 1
         if not self.policy.keep_going:
             self.aborted = True
+
+    def _retry_or_fail_info(
+        self, key: str, kind: str, exc_type: str, message: str, tb: str
+    ) -> None:
+        """Requeue ``key`` if its failure kind has retry budget, else fail it."""
+        if self._should_retry(key, kind):
+            self.stats.retries += 1
+            self.needs_backoff.add(key)
+            self.queue.append(key)
+        else:
+            self._record_failure_info(key, kind, exc_type, message, tb)
 
     def _backoff(self, key: str) -> None:
         """Exponential backoff before a retry (attempt n sleeps ~base·2ⁿ⁻¹)."""
@@ -711,9 +816,14 @@ class _PlanRunner:
                 self.deadlines.clear()
 
     def _new_pool(self) -> ProcessPoolExecutor:
-        remaining = len(self.queue) + len(self.suspects) + len(self.pending)
+        remaining = (
+            len(self.queue)
+            + len(self.suspects)
+            + sum(len(keys) for keys in self.pending.values())
+        )
+        workers = -(-remaining // self.chunk)  # ceil: chunks, not specs, fill slots
         return ProcessPoolExecutor(
-            max_workers=max(1, min(self.jobs, remaining)), initializer=_worker_init
+            max_workers=max(1, min(self.jobs, workers)), initializer=_worker_init
         )
 
     def _shutdown_pool(self, *, kill: bool) -> None:
@@ -741,29 +851,35 @@ class _PlanRunner:
             pass
 
     def _dispatch(self) -> None:
-        """Fill worker slots; suspects run strictly one at a time."""
+        """Fill worker slots with chunks; suspects run strictly one at a time."""
         while True:
             if self.suspects:
                 if self.pending:
                     return  # serial isolation: wait for the lone flight
-                key = self.suspects.popleft()
+                keys: tuple[str, ...] = (self.suspects.popleft(),)
             elif self.queue and len(self.pending) < self.jobs:
-                key = self.queue.popleft()
+                count = min(self.chunk, len(self.queue))
+                keys = tuple(self.queue.popleft() for _ in range(count))
             else:
                 return
-            if key in self.needs_backoff:
-                self.needs_backoff.discard(key)
-                self._backoff(key)
-            self.attempts[key] += 1
+            for key in keys:
+                if key in self.needs_backoff:
+                    self.needs_backoff.discard(key)
+                    self._backoff(key)
+                self.attempts[key] += 1
             try:
-                fut = self.pool.submit(run_spec, self.specs[key], self.policy.audit)
+                fut = self.pool.submit(
+                    _run_chunk, [self.specs[k] for k in keys], self.policy.audit
+                )
             except (BrokenExecutor, RuntimeError) as exc:
                 # the pool died between harvest and submit
-                self.attempts[key] -= 1
-                self._requeue_front(key)
+                for key in reversed(keys):
+                    self.attempts[key] -= 1
+                    self._requeue_front(key)
                 self._handle_pool_break(exc)
                 return
-            self.pending[fut] = key
+            self.pending[fut] = keys
+            self.stats.chunks += 1
             if self.policy.spec_timeout_s is not None:
                 self.deadlines[fut] = time.monotonic() + self.policy.spec_timeout_s
 
@@ -779,30 +895,48 @@ class _PlanRunner:
         return 0.5
 
     def _harvest(self, fut: Future) -> None:
-        key = self.pending.pop(fut)
+        keys = self.pending.pop(fut)
         self.deadlines.pop(fut, None)
         try:
-            result = fut.result()
+            records = fut.result()
         except BrokenExecutor as exc:
-            # one dead worker breaks the whole executor: every in-flight
-            # spec fails collaterally, so handle them all at once
-            self._handle_pool_break(exc, casualty=key)
+            # a dead worker breaks the whole executor: its chunk and every
+            # other in-flight spec fail collaterally; handle them at once
+            self._handle_pool_break(exc, casualties=keys)
+            return
         except Exception as exc:
+            # chunk-level transport failure (e.g. a torn result pipe):
+            # the worker-side records are gone, so every spec shares it
             kind = classify_failure(exc)
-            if self._should_retry(key, kind):
-                self.stats.retries += 1
-                self.needs_backoff.add(key)
-                self.queue.append(key)
+            tb = "".join(_traceback.format_exception(exc))
+            for key in keys:
+                self._retry_or_fail_info(key, kind, type(exc).__name__, str(exc), tb)
+            return
+        seen: set[str] = set()
+        for rec in records:
+            key = rec[0]
+            seen.add(key)
+            if rec[1] == "ok":
+                self._record_success(key, rec[2])
             else:
-                self._record_failure(key, exc, kind)
-        else:
-            self._record_success(key, result)
+                _, _, kind, exc_type, message, tb = rec
+                self._retry_or_fail_info(key, kind, exc_type, message, tb)
+        for key in keys:
+            # defensive: a worker that returned without covering a spec
+            if key not in seen:
+                self._retry_or_fail_info(
+                    key, "worker-lost", "RuntimeError",
+                    "spec missing from its chunk's result records", "",
+                )
 
-    def _handle_pool_break(self, exc: BaseException, casualty: str | None = None) -> None:
+    def _handle_pool_break(
+        self, exc: BaseException, casualties: tuple[str, ...] = ()
+    ) -> None:
         """Replace a broken pool; casualties retry serially (culprit isolation)."""
         self.stats.pool_rebuilds += 1
-        casualties = [casualty] if casualty is not None else []
-        casualties.extend(self.pending.values())
+        casualties = list(casualties)
+        for keys in self.pending.values():
+            casualties.extend(keys)
         self.pending.clear()
         self.deadlines.clear()
         self._shutdown_pool(kill=True)
@@ -836,14 +970,17 @@ class _PlanRunner:
             return
         timeout_s = self.policy.spec_timeout_s
         for fut in expired:
-            key = self.pending.pop(fut)
+            # chunks are single-spec whenever a timeout is armed, so the
+            # deadline attributes to exactly one spec
+            for key in self.pending.pop(fut):
+                exc = TimeoutError(f"spec exceeded --spec-timeout of {timeout_s:g}s")
+                self._record_failure(key, exc, "timeout")
             self.deadlines.pop(fut, None)
-            exc = TimeoutError(f"spec exceeded --spec-timeout of {timeout_s:g}s")
-            self._record_failure(key, exc, "timeout")
         # innocents that shared the killed pool go back unpenalized
-        for fut, key in list(self.pending.items()):
-            self.attempts[key] -= 1
-            self.queue.appendleft(key)
+        for fut, keys in list(self.pending.items()):
+            for key in reversed(keys):
+                self.attempts[key] -= 1
+                self.queue.appendleft(key)
         self.pending.clear()
         self.deadlines.clear()
         self.stats.pool_rebuilds += 1
@@ -884,6 +1021,33 @@ class _PlanRunner:
         return _Guard()
 
 
+def _prewarm_traces(specs: Iterable[RunSpec]) -> None:
+    """Materialize every unique memory trace once, before fanning out.
+
+    ``SpecProfile.memory_trace`` persists traces through the trace plane
+    (:mod:`~repro.harness.trace_plane`), so generating them here, in the
+    parent, means every worker memory-maps the shared ``.npy`` artifacts
+    instead of regenerating identical traces per process.  Failures are
+    swallowed: the worker that actually needs the trace will re-raise
+    with proper per-spec attribution.
+    """
+    from ..workloads import profile as _profile
+
+    seen: set[tuple] = set()
+    for spec in specs:
+        for name in spec.workloads:
+            ident = (name, spec.instructions, spec.seed, spec.trace_llc)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            try:
+                _profile(name).memory_trace(
+                    spec.instructions, spec.trace_llc, seed=spec.seed
+                )
+            except Exception:
+                pass
+
+
 def execute_plan(
     specs: "Iterable[RunSpec] | RunPlan",
     *,
@@ -919,6 +1083,10 @@ def execute_plan(
 
     stats = RunnerStats(requested=len(spec_list), unique=len(unique), jobs=jobs)
     write_errors_before = getattr(cache, "write_errors", 0)
+    from .trace_plane import get_trace_plane
+
+    plane = get_trace_plane()
+    bytes_before = getattr(cache, "bytes_written", 0) + plane.bytes_written
     results: dict[str, MulticoreResult] = {}
     todo: list[tuple[str, RunSpec]] = []
     for key, spec in unique.items():
@@ -945,6 +1113,9 @@ def execute_plan(
     if todo:
         runner = _PlanRunner(todo, jobs, policy, cache, stats)
         if jobs > 1 and len(todo) > 1:
+            # materialize shared trace artifacts in the parent so workers
+            # mmap them instead of regenerating one private copy each
+            _prewarm_traces(spec for _, spec in todo)
             runner.run_parallel()
         else:
             runner.run_sequential([k for k, _ in todo])
@@ -955,6 +1126,9 @@ def execute_plan(
 
     stats.wall_s = time.perf_counter() - t0
     stats.cache_write_errors = getattr(cache, "write_errors", 0) - write_errors_before
+    stats.cache_bytes_written = (
+        getattr(cache, "bytes_written", 0) + plane.bytes_written - bytes_before
+    )
     _LAST_STATS = stats
     _SESSION_STATS.absorb(stats)
     _LAST_FAILURES = failures

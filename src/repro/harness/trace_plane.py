@@ -1,0 +1,248 @@
+"""Shared-memory trace plane: memory traces as mmap-able ``.npy`` artifacts.
+
+The pickle artifact cache made LLC-filtered traces *persistent*, but every
+process that needed one still paid a full unpickle into a private heap
+copy — at ``jobs=N`` the same multi-megabyte arrays were duplicated N
+times.  The trace plane stores each trace's arrays as raw ``.npy`` files
+instead, so any number of worker processes map the *same* page-cache
+pages via ``np.load(mmap_mode="r")``: materialize once, share everywhere.
+The parent prewarms the plane before fanning a plan out (see
+:func:`repro.harness.runner.execute_plan`), so workers never regenerate a
+trace another process already built.
+
+Layout, sharded like the pickle cache (``<cache-dir>/trace-plane/<kk>/``)::
+
+    <key>.gaps.npy    int64  instruction gaps
+    <key>.lines.npy   int64  cache-line indices
+    <key>.writes.npy  bool   store markers
+    <key>.meta.json   commit marker: schema, length, tail_instructions
+
+Each array is written through a temp file + ``os.replace`` and the meta
+file is written *last*, so a writer that dies mid-store (crashed worker,
+kill -9) can never leave a loadable-but-torn entry: loads require the
+meta marker and validate every array's length against it.  Any load
+failure drops the entry and reports a miss — corruption is recovered by
+recomputing, never a crash.  The plane obeys the same ``REPRO_CACHE`` /
+``REPRO_CACHE_DIR`` knobs as the pickle cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..workloads.trace import AccessTrace
+from .cache import cache_enabled, default_cache_dir
+
+__all__ = [
+    "PLANE_SCHEMA",
+    "TracePlane",
+    "NullTracePlane",
+    "get_trace_plane",
+    "trace_plane_dir",
+]
+
+#: Bump when the on-disk layout changes; old entries are then dropped on load.
+PLANE_SCHEMA = 1
+
+#: the AccessTrace array fields, in on-disk order
+_ARRAYS = ("gaps", "lines", "writes")
+
+
+class TracePlane:
+    """A directory of trace arrays, addressed by content fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+        self.write_errors = 0
+        self.bytes_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # -- paths ---------------------------------------------------------------
+
+    def _dir(self, key: str) -> Path:
+        return self.root / key[:2]
+
+    def _array_path(self, key: str, name: str) -> Path:
+        return self._dir(key) / f"{key}.{name}.npy"
+
+    def _meta_path(self, key: str) -> Path:
+        return self._dir(key) / f"{key}.meta.json"
+
+    def paths(self, key: str) -> list[Path]:
+        """Every file backing ``key`` (tests and cache management)."""
+        return [self._array_path(key, n) for n in _ARRAYS] + [self._meta_path(key)]
+
+    def _drop(self, key: str) -> None:
+        for path in self.paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- read ----------------------------------------------------------------
+
+    def _read(self, key: str) -> AccessTrace | None:
+        """Mmap-backed trace for ``key``, or None (no hit/miss counting)."""
+        meta_path = self._meta_path(key)
+        try:
+            meta = json.loads(meta_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self.corrupt += 1
+            self._drop(key)
+            return None
+        try:
+            if meta.get("schema") != PLANE_SCHEMA:
+                raise ValueError(f"schema {meta.get('schema')} != {PLANE_SCHEMA}")
+            length = int(meta["length"])
+            arrays = {
+                name: np.load(self._array_path(key, name), mmap_mode="r")
+                for name in _ARRAYS
+            }
+            if any(len(a) != length for a in arrays.values()):
+                raise ValueError("array length disagrees with commit marker")
+            return AccessTrace(
+                arrays["gaps"],
+                arrays["lines"],
+                arrays["writes"],
+                tail_instructions=int(meta["tail_instructions"]),
+            )
+        except Exception:
+            # torn array, foreign bytes, stale schema — drop and recompute
+            self.corrupt += 1
+            self._drop(key)
+            return None
+
+    def load(self, key: str) -> AccessTrace | None:
+        """The trace stored under ``key`` as read-only mmap views, or None."""
+        trace = self._read(key)
+        if trace is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return trace
+
+    # -- write ---------------------------------------------------------------
+
+    def store(self, key: str, trace: AccessTrace) -> AccessTrace | None:
+        """Persist ``trace`` under ``key``; returns the mmap-backed readback.
+
+        The readback view is what callers should hand out: consumers then
+        share page-cache pages instead of holding private heap copies.
+        Returns None when the plane is unwritable or the readback failed
+        (callers keep using the in-memory trace — never a crash).
+        """
+        directory = self._dir(key)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            for name in _ARRAYS:
+                self._write_file(
+                    directory,
+                    self._array_path(key, name),
+                    lambda fh, n=name: np.save(fh, np.ascontiguousarray(getattr(trace, n))),
+                )
+            meta = {
+                "schema": PLANE_SCHEMA,
+                "length": len(trace),
+                "tail_instructions": int(trace.tail_instructions),
+            }
+            # the commit marker goes last: readers ignore marker-less entries
+            self._write_file(
+                directory,
+                self._meta_path(key),
+                lambda fh: fh.write(json.dumps(meta).encode()),
+            )
+        except OSError:
+            self.write_errors += 1
+            return None
+        self.stores += 1
+        return self._read(key)
+
+    def _write_file(self, directory: Path, path: Path, write) -> None:
+        """Atomic single-file write (temp + ``os.replace``), counting bytes."""
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                write(fh)
+                self.bytes_written += fh.tell()
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in list(self.root.glob("*/*.npy")) + list(self.root.glob("*/*.meta.json")):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class NullTracePlane:
+    """Disabled plane: every load misses, every store is dropped."""
+
+    root = None
+    hits = 0
+    misses = 0
+    corrupt = 0
+    stores = 0
+    write_errors = 0
+    bytes_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def load(self, key: str) -> None:
+        return None
+
+    def store(self, key: str, trace: AccessTrace) -> None:
+        return None
+
+    def paths(self, key: str) -> list[Path]:
+        return []
+
+    def clear(self) -> int:
+        return 0
+
+
+_NULL = NullTracePlane()
+_INSTANCES: dict[Path, TracePlane] = {}
+
+
+def trace_plane_dir() -> Path:
+    """Plane directory: a sibling of the pickle entries in the cache dir."""
+    return default_cache_dir() / "trace-plane"
+
+
+def get_trace_plane() -> TracePlane | NullTracePlane:
+    """The trace plane for the current environment (re-read per call, so
+    tests and the CLI can repoint ``REPRO_CACHE_DIR`` at any time)."""
+    if not cache_enabled():
+        return _NULL
+    root = trace_plane_dir()
+    inst = _INSTANCES.get(root)
+    if inst is None:
+        inst = _INSTANCES[root] = TracePlane(root)
+    return inst

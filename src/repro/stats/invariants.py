@@ -62,8 +62,8 @@ class RequestLog:
         controller = memory_system.controller
         original = controller.submit
 
-        def wrapped(kind, line, cycle, core_id=0, on_complete=None):
-            req = original(kind, line, cycle, core_id, on_complete)
+        def wrapped(kind, line, cycle, core_id=0, on_complete=None, coord=None):
+            req = original(kind, line, cycle, core_id, on_complete, coord)
             self.requests.append(req)
             return req
 

@@ -66,34 +66,50 @@ class SpecProfile:
             self.model, instructions, derive_seed(seed, self.name), tag=self.name
         )
 
+    def trace_key(self, instructions: int, llc: LlcConfig, seed: int = 0) -> str:
+        """Content fingerprint of this profile's filtered memory trace.
+
+        Covers the full :class:`~repro.workloads.synthetic.PhaseModel`,
+        run length, seed and LLC geometry, so recalibrating a profile (or
+        changing the LLC the trace is filtered through) invalidates its
+        persisted traces automatically.
+        """
+        from ..harness.cache import fingerprint
+
+        return fingerprint("trace", self.name, self.model, instructions, seed, llc)
+
     def memory_trace(
         self, instructions: int, llc: LlcConfig, seed: int = 0
     ) -> AccessTrace:
-        """LLC-filtered memory trace (memoized, disk-cache backed).
+        """LLC-filtered memory trace (memoized, trace-plane backed).
 
         Filtering is a pure function of (phase model, run length, seed,
-        LLC geometry), so traces are also persisted through the
-        content-keyed artifact cache: worker processes and later
-        invocations load the trace instead of regenerating and
-        re-filtering it.  The fingerprint covers the full
-        :class:`~repro.workloads.synthetic.PhaseModel`, so recalibrating
-        a profile invalidates its cached traces automatically.
+        LLC geometry), so traces are persisted through the content-keyed
+        :mod:`~repro.harness.trace_plane` as raw ``.npy`` arrays: worker
+        processes and later invocations memory-map the shared artifact
+        (``np.load(mmap_mode="r")``) instead of regenerating and
+        re-filtering it — one copy in the page cache, however many
+        processes replay it.
         """
         key = (self.name, instructions, seed, llc.size_bytes, llc.ways, llc.line_bytes)
         cached = _MEM_TRACE_CACHE.get(key)
         if cached is None:
             # imported lazily: workloads must not import harness at module
             # scope (the harness drivers import workloads).
-            from ..harness.cache import fingerprint, get_cache
+            from ..harness.trace_plane import get_trace_plane
 
-            cache = get_cache()
-            dkey = fingerprint("trace", self.name, self.model, instructions, seed, llc)
-            cached = cache.get(dkey)
-            if not isinstance(cached, AccessTrace):
+            plane = get_trace_plane()
+            dkey = self.trace_key(instructions, llc, seed)
+            cached = plane.load(dkey)
+            if cached is None:
                 cached = filter_trace(
                     self.cpu_trace(instructions, seed), llc
                 ).memory_trace
-                cache.put(dkey, cached)
+                stored = plane.store(dkey, cached)
+                if stored is not None:
+                    # hand out the mmap readback: every later consumer in
+                    # any process then shares the same page-cache pages
+                    cached = stored
             _MEM_TRACE_CACHE[key] = cached
         return cached
 

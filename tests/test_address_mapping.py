@@ -122,3 +122,38 @@ def test_row_low_bits_clamped_to_row_bits():
     # round trip must still hold with clamped split
     for line in range(0, org.total_lines, 97):
         assert m.encode(m.decode(line)) == line
+
+
+# ------------------------------------------------------- vectorized pre-decode
+
+
+@given(
+    lines=st.lists(
+        st.integers(min_value=0, max_value=ORG.total_lines - 1),
+        min_size=0, max_size=64,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_decode_array_matches_scalar_decode(lines):
+    import numpy as np
+
+    arr = np.asarray(lines, dtype=np.int64)
+    for scheme in SCHEMES:
+        m = AddressMapper(ORG, scheme)
+        chan, rank, bank, row, col = m.decode_array(arr)
+        expected = [m.decode(line) for line in lines]
+        got = list(zip(chan.tolist(), rank.tolist(), bank.tolist(),
+                       row.tolist(), col.tolist()))
+        assert got == [tuple(c) for c in expected], scheme
+
+
+def test_decode_coords_returns_coord_instances(mapper):
+    import numpy as np
+
+    lines = np.arange(0, ORG.total_lines, 997, dtype=np.int64)
+    coords = mapper.decode_coords(lines)
+    assert len(coords) == len(lines)
+    for line, coord in zip(lines.tolist(), coords):
+        assert isinstance(coord, Coord)
+        assert coord == mapper.decode(line)
+        assert mapper.encode(coord) == line

@@ -93,6 +93,7 @@ class TestArtifactCache:
 
 class TestGlobalCache:
     def test_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "on")  # CI exports REPRO_CACHE=off
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert default_cache_dir() == tmp_path
         assert get_cache().root == tmp_path
@@ -102,7 +103,8 @@ class TestGlobalCache:
         assert not cache_enabled()
         assert isinstance(get_cache(), NullCache)
 
-    def test_disable_via_override(self):
+    def test_disable_via_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "on")  # CI exports REPRO_CACHE=off
         try:
             set_cache_enabled(False)
             assert isinstance(get_cache(), NullCache)
@@ -119,11 +121,16 @@ class TestGlobalCache:
         from repro.workloads import profile
         from repro.workloads.spec_profiles import clear_trace_cache
 
+        monkeypatch.setenv("REPRO_CACHE", "on")  # CI exports REPRO_CACHE=off
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         llc = LlcConfig(size_bytes=256 * 1024, ways=4)
         clear_trace_cache()
         t1 = profile("gobmk").memory_trace(50_000, llc, seed=9)
-        assert any(tmp_path.glob("*/*.pkl")), "trace not written to disk cache"
+        # traces persist through the trace plane (raw .npy arrays + commit
+        # marker), not the pickle cache — workers mmap them instead
+        plane = tmp_path / "trace-plane"
+        assert any(plane.glob("*/*.npy")), "trace not written to trace plane"
+        assert any(plane.glob("*/*.meta.json")), "trace plane commit marker missing"
         clear_trace_cache()  # force the disk path
         t2 = profile("gobmk").memory_trace(50_000, llc, seed=9)
         assert (t1.gaps == t2.gaps).all()

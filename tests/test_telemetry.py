@@ -456,10 +456,15 @@ class TestCli:
         # register teardown restores: main() sets these via os.environ
         monkeypatch.setenv("REPRO_TELEMETRY", "")
         monkeypatch.setenv("REPRO_TRACE_DIR", "")
-        code = main(
-            ["analyze", "gobmk", "--instructions", "120000", "--telemetry",
-             "--trace-dir", str(tmp_path), "--no-cache"]
-        )
+        from repro.harness import set_cache_enabled
+
+        try:
+            code = main(
+                ["analyze", "gobmk", "--instructions", "120000", "--telemetry",
+                 "--trace-dir", str(tmp_path), "--no-cache"]
+            )
+        finally:
+            set_cache_enabled(None)  # --no-cache sets a process-wide override
         assert code == 0
         assert list(tmp_path.glob("*.trace.json"))
         assert "telemetry:" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Trace-plane lifecycle tests (ISSUE 4).
+
+The plane persists LLC-filtered memory traces as raw ``.npy`` artifacts
+that any number of processes memory-map.  These tests cover the full
+lifecycle: materialize once / reuse across specs, survival of worker
+crashes, invalidation when the content key changes, and corruption
+recovery (torn entries are misses, never crashes).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig
+from repro.config import LlcConfig
+from repro.harness import RunScale, RunSpec, execute_plan
+from repro.harness.runner import ExecutionPolicy, clear_result_memo
+from repro.harness.trace_plane import (
+    NullTracePlane,
+    TracePlane,
+    get_trace_plane,
+    trace_plane_dir,
+)
+from repro.workloads import profile
+from repro.workloads.spec_profiles import clear_trace_cache
+from repro.workloads.trace import AccessTrace
+
+TINY = RunScale(instructions=120_000, seed=3, training_refreshes=3)
+LLC = LlcConfig(size_bytes=256 * 1024, ways=4)
+
+
+@pytest.fixture(autouse=True)
+def plane_env(tmp_path, monkeypatch):
+    """Point the cache (and so the plane) at a fresh directory, cache ON."""
+    from repro.harness import set_cache_enabled
+
+    set_cache_enabled(None)  # drop any leaked process-wide override
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_trace_cache()
+    clear_result_memo()
+    yield tmp_path
+    clear_trace_cache()
+    clear_result_memo()
+
+
+def policy(**kw) -> ExecutionPolicy:
+    return dataclasses.replace(ExecutionPolicy(backoff_s=0.01), **kw)
+
+
+class TestStoreLoad:
+    def test_roundtrip_returns_mmap_views(self):
+        plane = get_trace_plane()
+        assert isinstance(plane, TracePlane)
+        first = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        assert plane.stores == 1
+        # the handed-out trace is already the mmap readback
+        assert isinstance(first.gaps, np.memmap)
+
+        clear_trace_cache()  # force the disk path
+        second = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        assert plane.hits >= 1
+        assert isinstance(second.lines, np.memmap)
+        assert (first.gaps == second.gaps).all()
+        assert (first.lines == second.lines).all()
+        assert (first.writes == second.writes).all()
+        assert first.tail_instructions == second.tail_instructions
+
+    def test_artifacts_on_disk_under_plane_dir(self):
+        profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        root = trace_plane_dir()
+        assert list(root.glob("*/*.gaps.npy"))
+        assert list(root.glob("*/*.meta.json"))
+
+    def test_meta_commit_marker_written_last_semantics(self, tmp_path):
+        """An entry without its commit marker is invisible (a plain miss)."""
+        plane = TracePlane(tmp_path / "plane")
+        trace = AccessTrace.from_lists([1, 2], [10, 20], [False, True], 5)
+        stored = plane.store("ab" + "0" * 38, trace)
+        assert stored is not None
+        plane._meta_path("ab" + "0" * 38).unlink()
+        assert plane.load("ab" + "0" * 38) is None
+        assert plane.corrupt == 0  # marker-less != corrupt
+
+    def test_disabled_cache_uses_null_plane(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert isinstance(get_trace_plane(), NullTracePlane)
+        clear_trace_cache()
+        trace = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        assert not isinstance(trace.gaps, np.memmap)  # plain in-memory trace
+
+
+class TestCorruption:
+    def test_torn_array_is_dropped_and_recomputed(self):
+        plane = get_trace_plane()
+        # snapshot to the heap: the corruption below clobbers live mmaps
+        original = np.array(profile("gobmk").memory_trace(50_000, LLC, seed=9).lines)
+        key = profile("gobmk").trace_key(50_000, LLC, seed=9)
+        # truncate one array: simulates a torn write or foreign bytes
+        path = plane._array_path(key, "lines")
+        path.write_bytes(path.read_bytes()[:16])
+        clear_trace_cache()
+        recomputed = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        assert plane.corrupt >= 1
+        assert (recomputed.lines == original).all()
+
+    def test_garbage_meta_is_dropped(self):
+        plane = get_trace_plane()
+        profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        key = profile("gobmk").trace_key(50_000, LLC, seed=9)
+        plane._meta_path(key).write_text("{not json")
+        assert plane.load(key) is None
+        assert plane.corrupt >= 1
+        # every backing file was unlinked with the bad marker
+        assert not any(p.exists() for p in plane.paths(key))
+
+    def test_stale_schema_invalidates(self):
+        plane = get_trace_plane()
+        profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        key = profile("gobmk").trace_key(50_000, LLC, seed=9)
+        meta = json.loads(plane._meta_path(key).read_text())
+        meta["schema"] = -1
+        plane._meta_path(key).write_text(json.dumps(meta))
+        assert plane.load(key) is None
+
+
+class TestPlanLifecycle:
+    def test_trace_materialized_once_and_shared_across_specs(self):
+        """Baseline and ROP specs of one benchmark share one artifact."""
+        cfg = SystemConfig.single_core()
+        rop = cfg.with_rop(training_refreshes=TINY.training_refreshes)
+        specs = [
+            RunSpec.benchmark("gobmk", cfg, TINY),
+            RunSpec.benchmark("gobmk", rop, TINY),
+        ]
+        plane = get_trace_plane()
+        results = execute_plan(specs, jobs=1)
+        assert results.ok(*specs)
+        assert plane.stores == 1  # one trace, two consumers
+
+        # a later plan (fresh memo, same cache dir) mmaps instead of storing
+        clear_trace_cache()
+        clear_result_memo()
+        plane2 = get_trace_plane()
+        hits_before = plane2.hits
+        profile("gobmk").memory_trace(TINY.instructions, cfg.llc, seed=TINY.seed)
+        assert plane2.hits == hits_before + 1
+        assert plane2.stores == 1
+
+    def test_artifacts_survive_worker_crash(self, tmp_path, monkeypatch):
+        """A crashed worker must not tear the shared trace artifacts."""
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({"lbm": {"mode": "crash"}}))
+        monkeypatch.setenv("REPRO_FAULTS", str(faults))
+        cfg = SystemConfig.single_core()
+        specs = [RunSpec.benchmark(n, cfg, TINY) for n in ("gobmk", "lbm", "bzip2")]
+        results = execute_plan(specs, jobs=2, policy=policy(keep_going=True))
+        assert len(results) == 2  # innocents completed
+        plane = get_trace_plane()
+        # the parent prewarmed every trace, including the crasher's, and
+        # all of them are still loadable afterwards
+        for name in ("gobmk", "lbm", "bzip2"):
+            key = profile(name).trace_key(TINY.instructions, cfg.llc, seed=TINY.seed)
+            assert plane._read(key) is not None, name
+
+    def test_content_key_invalidation(self):
+        """Changing the seed or the LLC geometry addresses a new artifact."""
+        plane = get_trace_plane()
+        p = profile("gobmk")
+        base_key = p.trace_key(50_000, LLC, seed=9)
+        assert p.trace_key(50_000, LLC, seed=10) != base_key
+        assert p.trace_key(50_000, LlcConfig(size_bytes=1 << 20), seed=9) != base_key
+        assert p.trace_key(60_000, LLC, seed=9) != base_key
+        assert p.trace_key(50_000, LLC, seed=9) == base_key
+
+        p.memory_trace(50_000, LLC, seed=9)
+        p.memory_trace(50_000, LLC, seed=10)
+        p.memory_trace(50_000, LlcConfig(size_bytes=1 << 20), seed=9)
+        assert plane.stores == 3  # three distinct artifacts, no aliasing
