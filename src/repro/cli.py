@@ -56,6 +56,8 @@ def _runner_opts(args) -> int | None:
     if getattr(args, "telemetry", False):
         # env vars, not process globals: spawned workers must see them too
         os.environ["REPRO_TELEMETRY"] = "1"
+    if getattr(args, "validate", False):
+        os.environ["REPRO_VALIDATE"] = "1"
     if getattr(args, "trace_dir", None):
         os.environ["REPRO_TRACE_DIR"] = str(args.trace_dir)
     import dataclasses
@@ -291,6 +293,43 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    """Run the committed validation corpus under the golden models."""
+    from .validation import load_corpus, render_mismatch_table, run_entry
+
+    entries = load_corpus(args.corpus)
+    if args.list:
+        for e in entries:
+            bands = ", ".join(sorted(e.expect)) or "-"
+            print(f"{e.name:22s} {e.system:12s} {'+'.join(e.workloads):14s} "
+                  f"{e.instructions:>9,d} instr  bands: {bands}")
+        return 0
+    if args.only:
+        wanted = set(args.only)
+        unknown = wanted - {e.name for e in entries}
+        if unknown:
+            print(f"repro validate: unknown entries {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+        entries = [e for e in entries if e.name in wanted]
+    all_mismatches = []
+    for entry in entries:
+        result, mismatches = run_entry(entry)
+        status = "FAIL" if mismatches else "ok"
+        print(f"{status:4s} {entry.name}: IPC {result.ipc:.4f}, "
+              f"{result.stats.refreshes} refreshes, "
+              f"{len(mismatches)} mismatch(es)")
+        all_mismatches.extend(mismatches)
+    if all_mismatches:
+        print()
+        print(render_mismatch_table(all_mismatches), file=sys.stderr)
+        print(f"\nrepro validate: FAIL — {len(all_mismatches)} mismatch(es) "
+              f"across {len(entries)} entries", file=sys.stderr)
+        return 1
+    print(f"\nrepro validate: {len(entries)} entries green")
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from .workloads import characterize
 
@@ -370,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for --telemetry trace files "
                              "(default: REPRO_TRACE_DIR or "
                              "<artifact-cache>/traces)")
+        sp.add_argument("--validate", action="store_true",
+                        help="check every simulated spec against the "
+                             "differential golden models (λ/β, Eq. 3, "
+                             "refresh schedule, DDR timing, SRAM model); "
+                             "a disagreement fails the run")
 
     sp = sub.add_parser("info", help="print configuration summary")
     sp.set_defaults(func=_cmd_info)
@@ -446,6 +490,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("benchmarks", nargs="+")
     common(sp)
     sp.set_defaults(func=_cmd_characterize)
+
+    sp = sub.add_parser(
+        "validate",
+        help="run the committed validation corpus against the analytical "
+             "golden models and expected-stat bands (exit 1 on mismatch)",
+    )
+    sp.add_argument("--corpus", default=None, metavar="FILE",
+                    help="corpus YAML file (default: the committed corpus)")
+    sp.add_argument("--only", action="append", default=None, metavar="NAME",
+                    help="run only the named entry (repeatable)")
+    sp.add_argument("--list", action="store_true",
+                    help="list corpus entries and exit")
+    sp.set_defaults(func=_cmd_validate)
     return p
 
 

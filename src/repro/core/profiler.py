@@ -52,6 +52,15 @@ class CategoryCounts:
             return 0.0
         return (self.b_pos_a_pos + self.b_zero_a_zero) / t
 
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """Immutable snapshot ``(E1, b_pos_a_zero, b_zero_a_pos, E2)``."""
+        return (
+            self.b_pos_a_pos,
+            self.b_pos_a_zero,
+            self.b_zero_a_pos,
+            self.b_zero_a_zero,
+        )
+
 
 @dataclass(frozen=True)
 class LambdaBeta:

@@ -79,6 +79,12 @@ class RopEngine:
                 self.profilers[key] = PatternProfiler(self.window)
                 self.tables[key] = PredictionTable(org.banks, org.lines_per_bank)
                 self.lam_beta[key] = None
+        #: per-rank (B,A) category counts snapshotted the instant training
+        #: froze λ/β — the profiler keeps counting afterwards, so the golden
+        #: model must recompute from *these*, not the live counts
+        self.frozen_counts: dict[tuple[int, int], tuple[int, int, int, int] | None] = {
+            key: None for key in self.profilers
+        }
         self._locks: list[LockRecord] = []
         self.closed_locks: list[LockRecord] = []
         #: keep only aggregate outcomes beyond this many closed locks
@@ -214,17 +220,17 @@ class RopEngine:
         if self.sm.is_training:
             return []
         key = (channel, rank)
+        b_count = self.profilers[key].count_in_window(cycle)
         if self._bus_pressure(channel, cycle) > self.rop.bus_pressure_limit:
             self.pressure_skips += 1
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
-            self._emit_skip(channel, rank, cycle, SkipReason.BUS_PRESSURE)
+            self._emit_skip(channel, rank, cycle, SkipReason.BUS_PRESSURE, b_count)
             return []
-        b_count = self.profilers[key].count_in_window(cycle)
         if not self.prefetcher.decide(b_count, self.lam_beta[key]):
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
-            self._emit_skip(channel, rank, cycle, SkipReason.THROTTLE)
+            self._emit_skip(channel, rank, cycle, SkipReason.THROTTLE, b_count)
             return []
         self.sm.begin_prefetch()
         lines = self.prefetcher.candidate_lines(
@@ -237,7 +243,7 @@ class RopEngine:
             self.sm.end_prefetch()
             if self._controller is not None:
                 self._controller.stats.prefetch_skipped += 1
-            self._emit_skip(channel, rank, cycle, SkipReason.NO_CANDIDATES)
+            self._emit_skip(channel, rank, cycle, SkipReason.NO_CANDIDATES, b_count)
         elif self._t_rop:
             self.sink.emit(
                 Category.ROP,
@@ -250,7 +256,9 @@ class RopEngine:
             )
         return lines
 
-    def _emit_skip(self, channel: int, rank: int, cycle: int, reason: SkipReason) -> None:
+    def _emit_skip(
+        self, channel: int, rank: int, cycle: int, reason: SkipReason, b_count: int = 0
+    ) -> None:
         if self._t_rop:
             self.sink.emit(
                 Category.ROP,
@@ -259,6 +267,7 @@ class RopEngine:
                 channel,
                 rank,
                 a=int(reason),
+                b=b_count,
             )
 
     def on_prefetch_fill(self, channel: int, rank: int, lines: list[int], cycle: int) -> None:
@@ -326,6 +335,10 @@ class RopEngine:
             "buffer_invalidations": self.buffer.invalidations,
             "decisions_go": self.prefetcher.decisions_go,
             "decisions_skip": self.prefetcher.decisions_skip,
+            "category_counts": {
+                f"ch{ch}.rank{rk}": counts
+                for (ch, rk), counts in self.frozen_counts.items()
+            },
         }
 
     def finalize(self, cycle: int) -> None:
@@ -398,6 +411,7 @@ class RopEngine:
         for key in self.profilers:
             self.profilers[key].reset()
             self.lam_beta[key] = None
+            self.frozen_counts[key] = None
 
     def _maybe_finish_training(self, cycle: int) -> None:
         for prof in self.profilers.values():
@@ -409,6 +423,7 @@ class RopEngine:
             for key, prof in self.profilers.items():
                 lb = prof.lambda_beta()
                 self.lam_beta[key] = lb
+                self.frozen_counts[key] = prof.counts.as_tuple()
                 if self._t_rop and lb is not None:
                     ch, rk = key
                     self.sink.emit(

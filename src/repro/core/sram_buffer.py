@@ -28,6 +28,7 @@ class SramBuffer:
         "invalidations",
         "sink",
         "_t_sram",
+        "tap",
     )
 
     def __init__(self, capacity: int, sink=None) -> None:
@@ -40,6 +41,10 @@ class SramBuffer:
         self.fills = 0
         self.hits = 0
         self.invalidations = 0
+        #: validation tap: ``tap(op, cycle, *payload)`` mirrors every state
+        #: change (``fill``/``hit``/``invalidate``/``flush``) into an
+        #: external reference model (:mod:`repro.validation`); None = off
+        self.tap = None
         self.set_sink(sink)
 
     def set_sink(self, sink) -> None:
@@ -69,6 +74,8 @@ class SramBuffer:
             self.hits += 1
             if self._t_sram:
                 self.sink.emit(Category.SRAM, Kind.SRAM_HIT, cycle, a=line)
+            if self.tap is not None:
+                self.tap("hit", cycle, line)
             return True
         return False
 
@@ -77,6 +84,7 @@ class SramBuffer:
 
         Returns the number of lines actually stored.
         """
+        lines = list(lines)
         self._lines.clear()
         for line in lines:
             if len(self._lines) >= self.capacity:
@@ -93,6 +101,8 @@ class SramBuffer:
                 owner[1],
                 a=len(self._lines),
             )
+        if self.tap is not None:
+            self.tap("fill", cycle, owner, tuple(lines), len(self._lines))
         return len(self._lines)
 
     def invalidate(self, line: int, cycle: int = -1) -> bool:
@@ -102,6 +112,8 @@ class SramBuffer:
             self.invalidations += 1
             if self._t_sram:
                 self.sink.emit(Category.SRAM, Kind.SRAM_INVALIDATE, cycle, a=line)
+            if self.tap is not None:
+                self.tap("invalidate", cycle, line)
             return True
         return False
 
@@ -109,3 +121,5 @@ class SramBuffer:
         """Empty the buffer (profiling phases keep it powered off)."""
         self._lines.clear()
         self.owner = None
+        if self.tap is not None:
+            self.tap("flush", -1)

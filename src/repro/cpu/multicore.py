@@ -9,6 +9,7 @@ replayed its trace; per-core IPC feeds the weighted-speedup metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..config import AddressMapScheme, SystemConfig
 from ..stats.collectors import ControllerStats
@@ -90,6 +91,7 @@ def run_cores(
     max_cycles: int | None = None,
     audit: bool = False,
     sink: TraceSink | None = None,
+    instrument: Callable[[MemorySystem], None] | None = None,
 ) -> MulticoreResult:
     """Run one co-simulation of ``traces`` (one per core) and return results.
 
@@ -104,8 +106,14 @@ def run_cores(
 
     ``sink`` wires a telemetry :class:`~repro.telemetry.TraceSink` through
     the memory system; it never changes the simulation outcome.
+
+    ``instrument`` is called with the freshly built :class:`MemorySystem`
+    before any traffic flows — the validation subsystem uses it to attach
+    its check taps (observers only; they must not alter behaviour).
     """
     memory = MemorySystem(config, record_events=record_events, sink=sink)
+    if instrument is not None:
+        instrument(memory)
     log = None
     if audit:
         from ..stats.invariants import RequestLog

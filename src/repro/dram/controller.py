@@ -87,6 +87,11 @@ class MemoryController:
         self._retry_at = [-1] * org.channels
         self.stats = ControllerStats()
         self._rid = 0
+        #: validation tap: ``issue_tap(coord, plan, is_write)`` observes
+        #: every committed DRAM access plan (demand and prefetch) so an
+        #: external timing oracle (:mod:`repro.validation`) can replay the
+        #: DDR legality rules; None = off
+        self.issue_tap = None
         if self.refresh_mgr.enabled:
             for ch in range(org.channels):
                 for rk in range(org.ranks):
@@ -264,6 +269,8 @@ class MemoryController:
                 plan.category,
             )
         rank.commit(plan, c.bank, c.row, is_write, t)
+        if self.issue_tap is not None:
+            self.issue_tap(c, plan, is_write)
         ch.bus_free_at = plan.data_end
         ch.busy_cycles += plan.data_end - plan.data_start
         req.issue_cycle = plan.col_cycle
@@ -520,6 +527,8 @@ class MemoryController:
                     plan.category,
                 )
             rank.commit(plan, c.bank, c.row, False, self.t)
+            if self.issue_tap is not None:
+                self.issue_tap(c, plan, False)
             ch.bus_free_at = plan.data_end
             ch.busy_cycles += plan.data_end - plan.data_start
             self.stats.prefetches += 1

@@ -67,6 +67,17 @@ class RefreshManager:
             offset = (rank * self.period) // self.org.ranks
         return self.period + offset
 
+    def grid_ticks(self, channel: int, rank: int, until: int) -> int:
+        """Closed-form count of tREFI grid ticks in ``[0, until]``.
+
+        The golden refresh model compares the simulator's executed-refresh
+        count against this analytical grid (with slack for postponement).
+        """
+        first = self.first_tick(channel, rank)
+        if until < first:
+            return 0
+        return (until - first) // self.period + 1
+
     def decide(self, channel: int, rank: int, now: int, pending_demand: int) -> int:
         """Number of REF commands to issue at this tick (0 = postpone).
 

@@ -56,7 +56,7 @@ __all__ = [
 
 #: Bump when simulator semantics change in a way fingerprints cannot see
 #: (e.g. a scheduling-policy fix): invalidates every stored artifact.
-CACHE_SCHEMA = 3  # v3: MulticoreResult carries a telemetry metrics snapshot
+CACHE_SCHEMA = 4  # v4: rop_summary carries frozen (B,A) category_counts
 
 #: Sentinel distinguishing "cached None" from "not cached".
 MISS = object()

@@ -25,6 +25,13 @@ Directives (``{"<identity>": {"mode": ..., ...}}``):
 
 This is a test/ops facility: chaos-testing a deployment's retry and
 timeout configuration uses the same directives as the unit tests.
+
+The same file also arms **golden-model skews** for the validation
+subsystem: a ``"golden:<check>"`` key (e.g. ``"golden:ddr-timing"``)
+maps to a numeric skew that :mod:`repro.validation.golden` applies to
+the *golden* side of the named check, deliberately breaking the model.
+The differential gate must then report the disagreement — the
+self-test behind ``repro validate``'s acceptance criterion.
 """
 
 from __future__ import annotations
@@ -38,7 +45,25 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from .runner import RunSpec
 
-__all__ = ["maybe_inject"]
+__all__ = ["maybe_inject", "golden_skew"]
+
+
+def golden_skew(check: str):
+    """Armed skew for golden check ``check`` (None when not armed).
+
+    Reads ``REPRO_FAULTS`` the same way :func:`maybe_inject` does but
+    looks up the ``"golden:<check>"`` key. Unreadable or malformed
+    fault files disarm quietly — validation must never fail because a
+    chaos-test fixture vanished.
+    """
+    path = os.environ.get("REPRO_FAULTS")
+    if not path:
+        return None
+    try:
+        table = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return table.get(f"golden:{check}")
 
 
 def maybe_inject(spec: "RunSpec") -> None:

@@ -91,6 +91,7 @@ __all__ = [
     "current_policy",
     "execute_plan",
     "run_spec",
+    "validation_enabled",
     "resolve_jobs",
     "core_llc_share",
     "last_stats",
@@ -123,9 +124,10 @@ class RunSpec:
     the LLC geometry the traces are filtered through, and the run
     length/seed.  Presentation details (system labels, normalization)
     live in the drivers, so the same spec declared by two figures is one
-    simulation.  ``audit`` and ``telemetry`` are *excluded* from the key:
-    invariant checks validate a result without changing it, and the trace
-    sink observes a run without changing it.
+    simulation.  ``audit``, ``telemetry`` and ``validate`` are *excluded*
+    from the key: invariant checks and golden models validate a result
+    without changing it, and the trace sink observes a run without
+    changing it.
     """
 
     workloads: tuple[str, ...]
@@ -142,6 +144,11 @@ class RunSpec:
     #: attach a cycle-level trace sink and export a Perfetto trace file
     #: (also forced by ``REPRO_TELEMETRY=1``); never changes the result
     telemetry: bool = False
+    #: run the differential golden-model checks
+    #: (:mod:`repro.validation`) over the finished simulation, raising
+    #: :class:`~repro.validation.GoldenMismatchError` on disagreement
+    #: (also forced by ``REPRO_VALIDATE=1``); never changes the result
+    validate: bool = False
 
     @property
     def key(self) -> str:
@@ -222,6 +229,11 @@ def telemetry_enabled(spec: RunSpec | None = None) -> bool:
     return (spec is not None and spec.telemetry) or _env_flag("REPRO_TELEMETRY")
 
 
+def validation_enabled(spec: RunSpec | None = None) -> bool:
+    """Whether a run should attach the golden-model validation checks."""
+    return (spec is not None and spec.validate) or _env_flag("REPRO_VALIDATE")
+
+
 def trace_dir() -> "Path":
     """Directory worker trace files land in.
 
@@ -262,6 +274,13 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     a :class:`~repro.telemetry.TraceSink` rides along and the worker
     exports a Perfetto trace file under :func:`trace_dir`; the returned
     result is bit-identical either way.
+
+    With validation enabled (``spec.validate`` or ``REPRO_VALIDATE=1``)
+    the differential golden models of :mod:`repro.validation` observe
+    the run and any disagreement raises
+    :class:`~repro.validation.GoldenMismatchError` (classified
+    ``invariant``) instead of returning — and caching — a result the
+    analytical models contradict.
     """
     maybe_inject(spec)
     traces = [
@@ -270,14 +289,31 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     ]
     do_audit = audit or spec.audit or _env_flag("REPRO_AUDIT")
     sink = None
-    if telemetry_enabled(spec):
+    session = None
+    if validation_enabled(spec):
+        # imported lazily: validation pulls in harness.faults, and the
+        # harness package imports this module at load time
+        from ..validation import GoldenMismatchError, ValidationSession
+
+        session = ValidationSession(spec.config)
+        sink = session.sink
+    elif telemetry_enabled(spec):
         from ..telemetry import TraceSink
 
         sink = TraceSink()
     result = run_cores(
-        traces, spec.config, record_events=spec.record_events, audit=do_audit, sink=sink
+        traces,
+        spec.config,
+        record_events=spec.record_events,
+        audit=do_audit,
+        sink=sink,
+        instrument=session.instrument if session is not None else None,
     )
-    if sink is not None:
+    if session is not None:
+        mismatches = session.finish(result)
+        if mismatches:
+            raise GoldenMismatchError(mismatches)
+    if sink is not None and telemetry_enabled(spec):
         _export_worker_trace(spec, sink)
     return result
 
@@ -1090,9 +1126,10 @@ def execute_plan(
     results: dict[str, MulticoreResult] = {}
     todo: list[tuple[str, RunSpec]] = []
     for key, spec in unique.items():
-        if telemetry_enabled(spec):
-            # a cached result carries no trace: force execution so the
-            # sink observes the run (the result is bit-identical anyway)
+        if telemetry_enabled(spec) or validation_enabled(spec):
+            # a cached result carries no trace and was never checked:
+            # force execution so the sink / golden models observe the
+            # run (the result is bit-identical anyway)
             todo.append((key, spec))
             continue
         memoized = _RESULT_MEMO.get(key)

@@ -31,7 +31,21 @@ __all__ = ["InvariantViolation", "RequestLog", "check_run"]
 
 
 class InvariantViolation(AssertionError):
-    """A physical constraint of the memory model was violated."""
+    """A physical constraint of the memory model was violated.
+
+    Structured so harness code can aggregate and render violations
+    without parsing the message: ``site`` names where the constraint
+    lives (e.g. ``causality``, ``bus.ch0``, ``refresh-rate``), ``cycle``
+    anchors it in simulated time (−1 when not cycle-specific) and
+    ``detail`` is the human-readable explanation.
+    """
+
+    def __init__(self, site: str, detail: str, cycle: int = -1) -> None:
+        self.site = site
+        self.detail = detail
+        self.cycle = cycle
+        loc = f"[{site}]" + (f" @cycle {cycle}" if cycle >= 0 else "")
+        super().__init__(f"{loc} {detail}")
 
 
 @dataclass
@@ -95,17 +109,25 @@ def _check_causality(log: RequestLog) -> None:
         if r.complete_cycle < 0:
             continue
         if r.complete_cycle < r.arrival:
-            raise InvariantViolation(f"completes before arrival: {r}")
+            raise InvariantViolation(
+                "causality", f"completes before arrival: {r}", cycle=r.complete_cycle
+            )
         if r.issue_cycle >= 0 and r.issue_cycle < r.arrival:
-            raise InvariantViolation(f"issues before arrival: {r}")
+            raise InvariantViolation(
+                "causality", f"issues before arrival: {r}", cycle=r.issue_cycle
+            )
         if r.issue_cycle >= 0 and r.complete_cycle < r.issue_cycle:
-            raise InvariantViolation(f"completes before issue: {r}")
+            raise InvariantViolation(
+                "causality", f"completes before issue: {r}", cycle=r.complete_cycle
+            )
 
 
 def _check_reads_complete(log: RequestLog) -> None:
     for r in log.reads:
         if r.complete_cycle < 0:
-            raise InvariantViolation(f"demand read never completed: {r}")
+            raise InvariantViolation(
+                "service-accounting", f"demand read never completed: {r}"
+            )
 
 
 def _check_bus_exclusive(log: RequestLog, burst: int) -> None:
@@ -125,8 +147,9 @@ def _check_bus_exclusive(log: RequestLog, burst: int) -> None:
         for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
             if s2 < e1:
                 raise InvariantViolation(
-                    f"channel {ch}: overlapping data bursts "
-                    f"[{s1},{e1}) and [{s2},{e2})"
+                    f"bus.ch{ch}",
+                    f"overlapping data bursts [{s1},{e1}) and [{s2},{e2})",
+                    cycle=s2,
                 )
 
 
@@ -171,7 +194,9 @@ def _check_lock_exclusion(log: RequestLog, locks) -> None:
             if s < r.complete_cycle <= e and r.complete_cycle - 1 >= s:
                 # the burst's last beat lies inside the lock window
                 raise InvariantViolation(
-                    f"DRAM read data during refresh lock [{s},{e}): {r}"
+                    "lock-exclusion",
+                    f"DRAM read data during refresh lock [{s},{e}): {r}",
+                    cycle=r.complete_cycle,
                 )
 
 
@@ -183,8 +208,8 @@ def _check_refresh_rate(events, refi: int, end_cycle: int) -> None:
         expected = end_cycle // refi
         if abs(n - expected) > 9:  # JEDEC: up to 8 postponed + 1 in flight
             raise InvariantViolation(
-                f"rank {key}: {n} refreshes over {end_cycle} cycles "
-                f"(expected ≈{expected})"
+                f"refresh-rate.{key}",
+                f"{n} refreshes over {end_cycle} cycles (expected ≈{expected})",
             )
 
 

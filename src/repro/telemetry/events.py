@@ -19,8 +19,8 @@ kind                   category  payload
 ``REFRESH_POSTPONED``  REFRESH   a = refreshes owed after this tick (ELASTIC)
 ``PHASE``              ROP       a = new :class:`PhaseCode`, b = previous
 ``PREFETCH_PLAN``      ROP       a = candidate lines, b = profiler B count
-``PREFETCH_FILL``      ROP       a = lines stored in the buffer
-``PREFETCH_SKIP``      ROP       a = :class:`SkipReason`
+``PREFETCH_FILL``      ROP       a = lines stored, b = lines requested
+``PREFETCH_SKIP``      ROP       a = :class:`SkipReason`, b = profiler B count
 ``LAMBDA``             ROP       f = λ estimate for (channel, rank)
 ``BETA``               ROP       f = β estimate for (channel, rank)
 ``RETRAIN``            ROP       a = retrain count so far

@@ -1,0 +1,54 @@
+"""Differential validation: golden models, fuzzing, and the corpus gate.
+
+Three layers (see DESIGN.md §8):
+
+* :mod:`repro.validation.golden` — independent analytical models of
+  λ/β, the Eq. 3 SRAM budget, refresh scheduling, DDR timing legality
+  and the SRAM buffer, checked against a live run's event stream;
+* :mod:`repro.validation.fuzz` — Hypothesis strategies generating
+  adversarial traces and configs (test-only; requires ``hypothesis``);
+* :mod:`repro.validation.corpus` — the committed ``corpus.yaml`` of
+  named runs with expected-stat tolerance bands, driven by the
+  ``repro validate`` CLI subcommand and the CI ``validate`` job.
+
+``repro.validation.fuzz`` is deliberately *not* imported here so the
+validate gate works without the test-only ``hypothesis`` dependency.
+"""
+
+from .corpus import (
+    DEFAULT_CORPUS,
+    CorpusEntry,
+    config_for,
+    load_corpus,
+    run_entry,
+    stat_value,
+)
+from .golden import (
+    SramOracle,
+    TimingOracle,
+    ValidationSession,
+    golden_bank_budgets,
+    golden_intra_bank_shares,
+    golden_lambda_beta,
+    validate_traces,
+)
+from .mismatch import GoldenMismatchError, Mismatch, render_mismatch_table
+
+__all__ = [
+    "Mismatch",
+    "GoldenMismatchError",
+    "render_mismatch_table",
+    "ValidationSession",
+    "TimingOracle",
+    "SramOracle",
+    "validate_traces",
+    "golden_lambda_beta",
+    "golden_bank_budgets",
+    "golden_intra_bank_shares",
+    "CorpusEntry",
+    "DEFAULT_CORPUS",
+    "load_corpus",
+    "config_for",
+    "run_entry",
+    "stat_value",
+]

@@ -1,0 +1,212 @@
+"""Hypothesis strategies for adversarial traces and configurations.
+
+The fuzz suite drives :func:`repro.validation.golden.validate_traces`
+with generated inputs and asserts golden-model agreement plus a handful
+of metamorphic properties. The strategies here bias generation toward
+the regimes where the simulator's scheduling logic has the most corner
+cases:
+
+* **bursty** traces — dense access trains separated by long compute
+  gaps, stressing queue drain and write-batch switching;
+* **refresh-aligned** traces — inter-access gaps close to one tREFI of
+  instructions, so demand keeps landing right as locks start;
+* **bank-conflict** traces — row ping-pong inside one bank, maximizing
+  precharge/activate churn against tRC and tFAW;
+* **degenerate** traces — empty, single-access, all-write, single-line.
+
+Configs sample refresh modes, rank counts and ROP knobs small enough
+that a few hundred accesses still cross several refresh windows.
+
+Import this module only from tests — it requires ``hypothesis``, which
+is a test-only dependency (the validate CLI must not need it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from ..config import (
+    AddressMapScheme,
+    CoreConfig,
+    MemoryOrganization,
+    RefreshMode,
+    SystemConfig,
+)
+from ..workloads.trace import AccessTrace
+
+__all__ = [
+    "FUZZ_ORG",
+    "uniform_traces",
+    "bursty_traces",
+    "refresh_aligned_traces",
+    "bank_conflict_traces",
+    "degenerate_traces",
+    "memory_traces",
+    "fuzz_configs",
+    "config_and_traces",
+]
+
+#: small geometry shared by all fuzz runs: 4 banks × 256 rows × 32 lines
+#: keeps runs fast while leaving room for row conflicts and rank stagger
+FUZZ_ORG = MemoryOrganization(channels=1, ranks=1, banks=4, rows=256, columns=32)
+
+#: footprint ceiling for generated line addresses (fits one fuzz rank)
+_MAX_LINE = FUZZ_ORG.lines_per_rank - 1
+
+#: instructions per memory cycle under the default core model
+_INSTR_PER_CYCLE = CoreConfig().cpu_clock_mult
+
+#: tREFI used by fuzz configs (cycles); small enough that ~200 accesses
+#: cross several refresh windows, large enough that every derived mode
+#: (FGR, per-bank) keeps tRFC < tREFI
+_FUZZ_REFI = 1200
+
+
+def _trace(gaps, lines, writes, tail: int = 0) -> AccessTrace:
+    return AccessTrace(
+        np.asarray(gaps, dtype=np.int64),
+        np.asarray(lines, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        tail_instructions=tail,
+    )
+
+
+@st.composite
+def uniform_traces(draw, max_len: int = 150) -> AccessTrace:
+    """Unstructured traffic: random gaps, lines and ~25 % writes."""
+    n = draw(st.integers(1, max_len))
+    gaps = draw(st.lists(st.integers(0, 64), min_size=n, max_size=n))
+    lines = draw(st.lists(st.integers(0, _MAX_LINE), min_size=n, max_size=n))
+    writes = draw(st.lists(st.sampled_from([False, False, False, True]), min_size=n, max_size=n))
+    return _trace(gaps, lines, writes, tail=draw(st.integers(0, 200)))
+
+
+@st.composite
+def bursty_traces(draw) -> AccessTrace:
+    """Dense bursts (gap 0–2) separated by long compute phases."""
+    gaps: list[int] = []
+    lines: list[int] = []
+    writes: list[bool] = []
+    for _ in range(draw(st.integers(1, 6))):
+        gap_to_burst = draw(st.integers(500, 8000))
+        base = draw(st.integers(0, _MAX_LINE - 64))
+        burst_len = draw(st.integers(4, 48))
+        stride = draw(st.sampled_from([1, 2, FUZZ_ORG.columns]))
+        is_write_burst = draw(st.booleans())
+        for j in range(burst_len):
+            gaps.append(gap_to_burst if j == 0 else draw(st.integers(0, 2)))
+            lines.append(min(base + j * stride, _MAX_LINE))
+            writes.append(is_write_burst and j % 3 == 0)
+    return _trace(gaps, lines, writes)
+
+
+@st.composite
+def refresh_aligned_traces(draw) -> AccessTrace:
+    """Gaps near one tREFI of instructions: demand collides with locks."""
+    refi_instr = _FUZZ_REFI * _INSTR_PER_CYCLE
+    n = draw(st.integers(4, 60))
+    gaps = [
+        refi_instr + draw(st.integers(-refi_instr // 8, refi_instr // 8))
+        for _ in range(n)
+    ]
+    base = draw(st.integers(0, _MAX_LINE - 256))
+    lines = [base + draw(st.integers(0, 255)) for _ in range(n)]
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return _trace(gaps, lines, writes)
+
+
+@st.composite
+def bank_conflict_traces(draw) -> AccessTrace:
+    """Row ping-pong in one bank: every access precharges and activates."""
+    n = draw(st.integers(8, 120))
+    row_a = draw(st.integers(0, FUZZ_ORG.rows - 1))
+    row_b = draw(st.integers(0, FUZZ_ORG.rows - 1))
+    col = draw(st.integers(0, FUZZ_ORG.columns - 1))
+    lines = [
+        (row_a if i % 2 == 0 else row_b) * FUZZ_ORG.columns + col for i in range(n)
+    ]
+    gaps = draw(st.lists(st.integers(0, 8), min_size=n, max_size=n))
+    writes = [False] * n
+    return _trace(gaps, lines, writes)
+
+
+@st.composite
+def degenerate_traces(draw) -> AccessTrace:
+    """Boundary shapes: empty, singleton, all-writes, one hot line."""
+    shape = draw(st.sampled_from(["empty", "single", "all_writes", "one_line"]))
+    if shape == "empty":
+        return _trace([], [], [], tail=draw(st.integers(1, 500)))
+    if shape == "single":
+        return _trace(
+            [draw(st.integers(0, 1000))],
+            [draw(st.integers(0, _MAX_LINE))],
+            [draw(st.booleans())],
+        )
+    n = draw(st.integers(2, 40))
+    if shape == "all_writes":
+        lines = draw(st.lists(st.integers(0, _MAX_LINE), min_size=n, max_size=n))
+        return _trace([1] * n, lines, [True] * n)
+    line = draw(st.integers(0, _MAX_LINE))
+    return _trace([draw(st.integers(0, 16)) for _ in range(n)], [line] * n, [False] * n)
+
+
+def memory_traces() -> st.SearchStrategy[AccessTrace]:
+    """Any adversarial flavor, weighted toward the structured ones."""
+    return st.one_of(
+        uniform_traces(),
+        bursty_traces(),
+        refresh_aligned_traces(),
+        bank_conflict_traces(),
+        degenerate_traces(),
+    )
+
+
+@st.composite
+def fuzz_configs(draw, *, rop: bool | None = None) -> SystemConfig:
+    """A small, fast system config covering the refresh-mode matrix."""
+    mode = draw(
+        st.sampled_from(
+            [
+                RefreshMode.AUTO_1X,
+                RefreshMode.ELASTIC,
+                RefreshMode.PER_BANK,
+                RefreshMode.FGR_2X,
+                RefreshMode.PAUSING,
+                RefreshMode.NONE,
+            ]
+        )
+    )
+    rop_on = draw(st.booleans()) if rop is None else rop
+    timings = SystemConfig().timings.with_refresh(refi=_FUZZ_REFI, rfc=100)
+    cfg = SystemConfig.single_core(organization=FUZZ_ORG, timings=timings)
+    cfg = cfg.with_refresh_mode(mode)
+    if rop_on:
+        cfg = cfg.with_rop(
+            sram_lines=draw(st.sampled_from([4, 16, 64])),
+            training_refreshes=draw(st.integers(1, 3)),
+            probabilistic=draw(st.booleans()),
+            drain_before_refresh=draw(st.booleans()),
+            adaptive_depth=draw(st.booleans()),
+            bus_pressure_limit=draw(st.sampled_from([0.0, 0.45, 1.0])),
+        )
+    return cfg
+
+
+@st.composite
+def config_and_traces(draw, *, rop: bool | None = None):
+    """A config plus one trace per core (1 core, or 2 on a 2-rank system)."""
+    cfg = draw(fuzz_configs(rop=rop))
+    n_cores = draw(st.sampled_from([1, 1, 2]))
+    if n_cores == 2:
+        from dataclasses import replace
+
+        cfg = replace(
+            cfg,
+            organization=replace(cfg.organization, ranks=2),
+            address_map=AddressMapScheme.RANK_PARTITIONED,
+        )
+    traces = [draw(memory_traces()) for _ in range(n_cores)]
+    if all(len(t) == 0 for t in traces):
+        traces[0] = draw(uniform_traces(max_len=20))
+    return cfg, traces

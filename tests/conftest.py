@@ -14,6 +14,32 @@ from repro import (
 )
 from repro.dram.timings import DDR4_1600
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Two pinned profiles so property tests behave identically everywhere:
+    # "dev" (default) keeps example counts modest for fast local runs;
+    # "ci" (HYPOTHESIS_PROFILE=ci) runs more examples, derandomized so CI
+    # failures reproduce exactly. Both disable the wall-clock deadline —
+    # whole-system simulation examples legitimately take tens of ms.
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=50,
+        derandomize=True,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_artifact_cache(tmp_path_factory):

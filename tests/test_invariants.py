@@ -136,3 +136,30 @@ def test_read_never_completed_detected():
     log.requests[0].complete_cycle = -1
     with pytest.raises(InvariantViolation):
         check_run(log, ms)
+
+
+def test_violation_is_structured():
+    """Violations carry (site, cycle, detail) for aggregation/rendering."""
+    ms, log = replay(SystemConfig.single_core(), [(0, 5, False)])
+    log.requests[0].complete_cycle = log.requests[0].arrival - 1
+    with pytest.raises(InvariantViolation) as info:
+        check_run(log, ms)
+    exc = info.value
+    assert exc.site == "causality"
+    assert exc.cycle == log.requests[0].complete_cycle
+    assert "completes before arrival" in exc.detail
+    # the rendered message embeds site and cycle
+    assert "[causality]" in str(exc)
+    assert f"@cycle {exc.cycle}" in str(exc)
+
+
+def test_violation_without_cycle_renders_without_anchor():
+    exc = InvariantViolation("service-accounting", "read never completed")
+    assert exc.cycle == -1
+    assert str(exc).startswith("[service-accounting]")
+    assert "@cycle" not in str(exc)
+
+
+def test_violation_is_assertion_error_subclass():
+    # the runner's failure taxonomy keys off AssertionError → "invariant"
+    assert issubclass(InvariantViolation, AssertionError)

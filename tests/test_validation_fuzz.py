@@ -1,0 +1,129 @@
+"""Property-based trace fuzzing against the golden models.
+
+Hypothesis generates adversarial memory traces (bursty, refresh-aligned,
+bank-conflict-heavy, degenerate) over sampled system configurations and
+demands that every run agrees with all of the independent golden models
+— DDR timing legality, refresh schedule, λ/β closed form, Eq. 3 budget
+bounds, SRAM reference model, counter recounts.  Three metamorphic
+properties ride along: determinism, ROP-in-training transparency, and
+refresh removal never slowing a run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import RefreshMode
+from repro.core.sram_buffer import SramBuffer
+from repro.cpu.multicore import run_cores
+from repro.validation import validate_traces
+from repro.validation.fuzz import config_and_traces
+
+# --------------------------------------------------------- differential fuzz
+
+
+@given(ct=config_and_traces())
+def test_fuzzed_runs_pass_every_golden_check(ct):
+    cfg, traces = ct
+    _, mismatches = validate_traces(traces, cfg)
+    assert mismatches == [], "\n".join(str(m) for m in mismatches)
+
+
+# ------------------------------------------------------ metamorphic checks
+
+
+def _fingerprint(result):
+    s = result.stats
+    return (s.end_cycle, s.reads_completed, s.read_latency_sum, result.ipc)
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
+def test_simulation_is_deterministic(ct):
+    cfg, traces = ct
+    assert _fingerprint(run_cores(traces, cfg)) == _fingerprint(run_cores(traces, cfg))
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
+def test_rop_in_permanent_training_is_transparent(ct):
+    """An ROP engine that never finishes training (and never drains) only
+    observes — cycle-for-cycle identical to the same system without it."""
+    cfg, traces = ct
+    rop_cfg = cfg.with_rop(training_refreshes=100_000, drain_before_refresh=False)
+    assert _fingerprint(run_cores(traces, cfg)) == _fingerprint(
+        run_cores(traces, rop_cfg)
+    )
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
+def test_removing_refresh_never_slows_a_run(ct):
+    """Refresh only ever blocks requests: the idealized no-refresh memory
+    finishes no later, modulo scheduler-wakeup jitter.
+
+    The slack term is real, not defensive — two second-order effects let
+    a refreshing run finish *earlier* by a little: grid ticks double as
+    event-queue wakeups (±O(1) per tick), and each refresh precharges
+    every bank, occasionally converting a later row conflict into a
+    cheaper closed-row access (≤ tRP + tRCD per bank per refresh).  An
+    actual refresh regression costs tRFC-scale lock windows and still
+    fails this bound.
+    """
+    cfg, traces = ct
+    with_refresh = run_cores(traces, cfg)
+    without = run_cores(traces, cfg.with_refresh_mode(RefreshMode.NONE))
+    n = with_refresh.stats.refreshes
+    t, org = cfg.effective_timings(), cfg.organization
+    slack = 4 * (n + 1) + n * org.banks * (t.rp + t.rcd)
+    assert without.stats.end_cycle <= with_refresh.stats.end_cycle + slack
+
+
+# --------------------------------------------- SRAM buffer unit properties
+
+_LINES = st.integers(0, 40)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("refill"), st.lists(_LINES, max_size=24)),
+        st.tuples(st.just("consume"), _LINES),
+        st.tuples(st.just("invalidate"), _LINES),
+        st.tuples(st.just("flush"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+def _apply(buf: SramBuffer, op: str, arg) -> None:
+    if op == "refill":
+        buf.refill((0, 0), arg)
+    elif op == "consume":
+        buf.consume(arg)
+    elif op == "invalidate":
+        buf.invalidate(arg)
+    else:
+        buf.flush()
+
+
+@given(ops=_OPS, capacity=st.sampled_from([2, 4, 8]))
+def test_sram_hits_monotone_in_capacity(ops, capacity):
+    """Doubling SRAM capacity never loses a hit on an identical op script.
+
+    Invariant behind it: after every operation the smaller buffer's line
+    set is a subset of the larger one's (refill truncation keeps a prefix
+    of the distinct fill list; consume/invalidate/flush act pointwise).
+    """
+    small, big = SramBuffer(capacity), SramBuffer(2 * capacity)
+    for op, arg in ops:
+        _apply(small, op, arg)
+        _apply(big, op, arg)
+        assert small.lines <= big.lines
+    assert big.hits >= small.hits
+
+
+@given(ops=_OPS)
+def test_sram_never_exceeds_capacity(ops):
+    buf = SramBuffer(4)
+    for op, arg in ops:
+        _apply(buf, op, arg)
+        assert len(buf) <= 4
