@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the epoch engine's single-spec throughput.
+
+Reads the committed ``BENCH_runner.json``, finds the most recent
+``runner_scaling`` record whose headline single-spec number was taken
+under the **epoch** engine, re-measures the same metric on this machine
+(lbm+ROP smoke spec, trace pre-materialized, best of ``--reps``) and
+fails if the fresh ``single_spec_cycles_per_sec`` fell more than
+``--tolerance`` (default 20 %) below the committed value.
+
+The gate applies to the epoch engine only: the scalar interpreter is the
+bit-exactness reference, not a performance target, and older records
+that predate the ``engine`` field are ignored.
+
+Usage::
+
+    python benchmarks/perf_gate.py [--bench BENCH_runner.json]
+                                   [--tolerance 0.20] [--reps 5]
+
+Exit codes: 0 pass, 1 regression, 2 no committed epoch record (gate
+vacuously passes with a warning unless --strict).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def committed_epoch_record(path: Path) -> dict | None:
+    """Newest runner_scaling record with an epoch-engine headline."""
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    for record in reversed(history):
+        if (
+            record.get("bench") == "runner_scaling"
+            and record.get("engine") == "epoch"
+            and record.get("single_spec_cycles_per_sec")
+        ):
+            return record
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default="BENCH_runner.json",
+                    help="committed timing-record file")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop below the committed "
+                         "cycles/s before failing (default 0.20)")
+    ap.add_argument("--reps", type=int, default=5,
+                    help="timing repetitions, best-of (default 5)")
+    ap.add_argument("--scale", default="smoke",
+                    choices=("smoke", "default", "paper"))
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (exit 2) when no committed epoch record "
+                         "exists instead of passing vacuously")
+    args = ap.parse_args()
+
+    record = committed_epoch_record(Path(args.bench))
+    if record is None:
+        print(f"perf-gate: no committed epoch record in {args.bench}; "
+              f"{'failing (--strict)' if args.strict else 'nothing to gate'}")
+        return 2 if args.strict else 0
+    committed = record["single_spec_cycles_per_sec"]
+
+    import os
+    import tempfile
+
+    from bench_scaling import reset_state, single_spec
+
+    from repro.harness import RunScale
+
+    scale = RunScale.named(args.scale)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-gate-") as tmp:
+        reset_state(os.path.join(tmp, "gate"))
+        t_best, cycles = single_spec(scale, args.reps, "epoch")
+    fresh = cycles / t_best
+    floor = committed * (1.0 - args.tolerance)
+    verdict = "PASS" if fresh >= floor else "FAIL"
+    print(f"perf-gate [{verdict}] epoch single-spec: "
+          f"{fresh / 1e3:,.0f}k cycles/s fresh vs {committed / 1e3:,.0f}k "
+          f"committed (floor {floor / 1e3:,.0f}k at "
+          f"-{args.tolerance:.0%} tolerance, best of {args.reps})")
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

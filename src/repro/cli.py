@@ -60,6 +60,8 @@ def _runner_opts(args) -> int | None:
         os.environ["REPRO_VALIDATE"] = "1"
     if getattr(args, "trace_dir", None):
         os.environ["REPRO_TRACE_DIR"] = str(args.trace_dir)
+    if getattr(args, "engine", None):
+        os.environ["REPRO_ENGINE"] = args.engine
     import dataclasses
 
     policy = ExecutionPolicy.from_env()
@@ -282,7 +284,9 @@ def _cmd_profile(args) -> int:
     prof.enable()
     result = run_spec(spec)
     prof.disable()
-    print(f"{args.benchmark}: IPC {result.ipc:.4f}, "
+    from .kernel import resolve_engine
+
+    print(f"{args.benchmark} [{resolve_engine()} engine]: IPC {result.ipc:.4f}, "
           f"{result.stats.demand_accesses} demand accesses, "
           f"{result.end_cycle} controller cycles")
     stats = pstats.Stats(prof)
@@ -409,6 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for --telemetry trace files "
                              "(default: REPRO_TRACE_DIR or "
                              "<artifact-cache>/traces)")
+        sp.add_argument("--engine", default=None,
+                        choices=("scalar", "epoch"),
+                        help="simulation engine: scalar = reference "
+                             "event-queue interpreter, epoch = array-native "
+                             "epoch-stepped kernel (default: REPRO_ENGINE "
+                             "or scalar; results are bit-identical)")
         sp.add_argument("--validate", action="store_true",
                         help="check every simulated spec against the "
                              "differential golden models (λ/β, Eq. 3, "

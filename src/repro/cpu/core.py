@@ -63,9 +63,11 @@ class Core:
         if scaled.dtype.kind == "f":
             scaled = np.trunc(scaled)
         self._gap_cpu = scaled.astype(np.int64).tolist()
-        # whole-trace vectorized address pre-decode: the controller then
-        # skips its per-request shift/mask decode chain
-        self._coords = memory.controller.mapper.decode_coords(trace.lines)
+        # whole-trace vectorized address pre-decode, so the controller
+        # skips its per-request shift/mask decode chain; deferred to
+        # start() because the epoch kernel consumes the columnar decode
+        # directly and never needs per-request Coord tuples
+        self._coords: list | None = None
 
     # ------------------------------------------------------------------ driving
 
@@ -74,6 +76,10 @@ class Core:
         if not self._lines:
             self.finished = True
             return
+        if self._coords is None:
+            self._coords = self.memory.controller.mapper.decode_coords(
+                self.trace.lines
+            )
         self._advance_to_next_op()
 
     def _mem_cycle(self) -> int:

@@ -92,6 +92,7 @@ def run_cores(
     audit: bool = False,
     sink: TraceSink | None = None,
     instrument: Callable[[MemorySystem], None] | None = None,
+    engine: str | None = None,
 ) -> MulticoreResult:
     """Run one co-simulation of ``traces`` (one per core) and return results.
 
@@ -110,7 +111,15 @@ def run_cores(
     ``instrument`` is called with the freshly built :class:`MemorySystem`
     before any traffic flows — the validation subsystem uses it to attach
     its check taps (observers only; they must not alter behaviour).
+
+    ``engine`` selects the simulation engine: ``"scalar"`` (the reference
+    object-dispatch loop) or ``"epoch"`` (the flat array-native kernel,
+    bit-identical where supported, scalar fallback otherwise). ``None``
+    defers to the ``REPRO_ENGINE`` environment variable, then scalar.
     """
+    from ..kernel import resolve_engine, run_epoch_kernel
+
+    engine = resolve_engine(engine)
     memory = MemorySystem(config, record_events=record_events, sink=sink)
     if instrument is not None:
         instrument(memory)
@@ -121,9 +130,13 @@ def run_cores(
         log = RequestLog().attach(memory)
     placed = place_traces(traces, config) if place else traces
     cores = [Core(i, tr, memory, config.core) for i, tr in enumerate(placed)]
-    for c in cores:
-        c.start()
-    memory.run(until=max_cycles)
+    kernel_ran = False
+    if engine == "epoch":
+        kernel_ran = run_epoch_kernel(memory, cores, max_cycles, audited=audit)
+    if not kernel_ran:
+        for c in cores:
+            c.start()
+        memory.run(until=max_cycles)
     unfinished = [c.core_id for c in cores if not c.finished]
     if unfinished:
         raise RuntimeError(
@@ -135,7 +148,7 @@ def run_cores(
     # running until the slowest core actually retires, so refresh counts
     # and background-energy time cover the whole execution.
     last_retire = max(c.finish_cycle for c in cores)
-    if last_retire > memory.now:
+    if not kernel_ran and last_retire > memory.now:
         memory.run(until=last_retire)
     stats = memory.finish()
     stats.end_cycle = max(stats.end_cycle, last_retire)

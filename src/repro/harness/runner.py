@@ -542,6 +542,8 @@ class RunnerStats:
     cache_write_errors: int = 0  #: artifact-cache puts that failed (results not persisted)
     chunks: int = 0  #: worker dispatches (futures) the plan's specs were batched into
     cache_bytes_written: int = 0  #: bytes persisted to disk (results + trace plane)
+    prewarm_s: float = 0.0  #: parent-side trace-plane prewarm before fan-out
+    pool_spinup_s: float = 0.0  #: ProcessPoolExecutor construction time
 
     @property
     def hits(self) -> int:
@@ -569,6 +571,8 @@ class RunnerStats:
         self.cache_write_errors += other.cache_write_errors
         self.chunks += other.chunks
         self.cache_bytes_written += other.cache_bytes_written
+        self.prewarm_s += other.prewarm_s
+        self.pool_spinup_s += other.pool_spinup_s
 
 
 #: in-process L1 over the disk cache: spec key → result
@@ -858,9 +862,12 @@ class _PlanRunner:
             + sum(len(keys) for keys in self.pending.values())
         )
         workers = -(-remaining // self.chunk)  # ceil: chunks, not specs, fill slots
-        return ProcessPoolExecutor(
+        t0 = time.perf_counter()
+        pool = ProcessPoolExecutor(
             max_workers=max(1, min(self.jobs, workers)), initializer=_worker_init
         )
+        self.stats.pool_spinup_s += time.perf_counter() - t0
+        return pool
 
     def _shutdown_pool(self, *, kill: bool) -> None:
         pool, self.pool = self.pool, None
@@ -1152,7 +1159,11 @@ def execute_plan(
         if jobs > 1 and len(todo) > 1:
             # materialize shared trace artifacts in the parent so workers
             # mmap them instead of regenerating one private copy each
+            # (a one-miss plan skips the pool entirely: run_sequential is
+            # the whole fan-out, and pool spin-up would dominate it)
+            t_warm = time.perf_counter()
             _prewarm_traces(spec for _, spec in todo)
+            stats.prewarm_s = time.perf_counter() - t_warm
             runner.run_parallel()
         else:
             runner.run_sequential([k for k, _ in todo])

@@ -1,0 +1,5 @@
+"""Array-native epoch simulation kernel (see :mod:`repro.kernel.epoch`)."""
+
+from .epoch import ENGINES, last_fallback, resolve_engine, run_epoch_kernel
+
+__all__ = ["ENGINES", "last_fallback", "resolve_engine", "run_epoch_kernel"]

@@ -1,0 +1,112 @@
+"""Epoch-kernel equivalence gates: the array-native engine must be a
+bit-exact drop-in for the scalar event-queue interpreter.
+
+Four angles, ordered from the committed configurations outward:
+
+* **corpus identity** — every system flavor the validation corpus can
+  name produces byte-identical pickled results under both engines;
+* **observer invariance** — attaching a telemetry sink changes nothing
+  about an epoch-engine result (the sink observes, never steers);
+* **fan-out invariance** — ``jobs=1`` and ``jobs=2`` plan executions
+  under ``REPRO_ENGINE=epoch`` return identical result sets;
+* **metamorphic fuzz** — Hypothesis drives both engines with the
+  adversarial trace/config strategies of :mod:`repro.validation.fuzz`
+  and asserts digest equality on every generated point (configurations
+  the epoch kernel declines are exercised through its scalar fallback,
+  which must also be invisible).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro import SystemConfig
+from repro.cpu.multicore import run_cores
+from repro.kernel import ENGINES, resolve_engine
+from repro.telemetry import TraceSink
+from repro.validation.corpus import _SYSTEMS
+from repro.validation.fuzz import config_and_traces
+from repro.workloads import profile
+
+INSTR = 60_000
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(pickle.dumps(result)).hexdigest()
+
+
+def _run(cfg, engine: str, sink=None):
+    trace = profile("lbm").memory_trace(INSTR, cfg.llc, seed=1)
+    return run_cores([trace], cfg, engine=engine, sink=sink)
+
+
+class TestEngineResolution:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "scalar"
+
+    def test_env_and_argument_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "epoch")
+        assert resolve_engine() == "epoch"
+        assert resolve_engine("scalar") == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("vector")
+        assert set(ENGINES) == {"scalar", "epoch"}
+
+
+class TestCorpusDigestIdentity:
+    @pytest.mark.parametrize("system", sorted(_SYSTEMS))
+    def test_scalar_and_epoch_agree(self, system):
+        cfg = _SYSTEMS[system]()
+        assert _digest(_run(cfg, "scalar")) == _digest(_run(cfg, "epoch"))
+
+
+class TestObserverInvariance:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sink_does_not_change_the_result(self, engine):
+        cfg = SystemConfig.single_core().with_rop()
+        plain = _run(cfg, engine)
+        observed = _run(cfg, engine, sink=TraceSink())
+        assert _digest(plain) == _digest(observed)
+
+
+class TestFanOutInvariance:
+    def test_jobs1_equals_jobs2_under_epoch(self, tmp_path, monkeypatch):
+        from repro.harness import RunScale, RunSpec, execute_plan
+        from repro.harness.runner import clear_result_memo
+
+        monkeypatch.setenv("REPRO_ENGINE", "epoch")
+        scale = RunScale.named("smoke")
+        base = SystemConfig.single_core()
+        rop = base.with_rop(training_refreshes=scale.training_refreshes)
+        specs = [
+            RunSpec.benchmark(name, cfg, scale)
+            for name in ("lbm", "libquantum")
+            for cfg in (base, rop)
+        ]
+        digests = {}
+        for jobs in (1, 2):
+            monkeypatch.setenv(
+                "REPRO_CACHE_DIR", str(tmp_path / f"jobs{jobs}")
+            )
+            clear_result_memo()
+            results = execute_plan(specs, jobs=jobs)
+            digests[jobs] = {s.key: _digest(results[s]) for s in specs}
+        assert digests[1] == digests[2]
+
+
+class TestMetamorphicFuzz:
+    @settings(max_examples=int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25")))
+    @given(config_and_traces())
+    def test_engines_agree_on_adversarial_points(self, point):
+        cfg, traces = point
+        scalar = run_cores(list(traces), cfg, engine="scalar")
+        epoch = run_cores(list(traces), cfg, engine="epoch")
+        assert _digest(scalar) == _digest(epoch)

@@ -92,6 +92,54 @@ class TestStoreLoad:
         assert not isinstance(trace.gaps, np.memmap)  # plain in-memory trace
 
 
+class TestReadOnly:
+    """Plane-backed arrays are shared pages: writes must be impossible.
+
+    Every ``SpecProfile.memory_trace`` consumer was audited to only
+    *read* the arrays (``tolist`` copies, arithmetic allocates, the
+    epoch kernel's columnar decode allocates); these tests pin the
+    contract so a future consumer that scribbles into the shared mmap
+    fails loudly instead of corrupting every other process's trace.
+    """
+
+    def test_plane_arrays_are_not_writeable(self):
+        trace = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        for name in ("gaps", "lines", "writes"):
+            arr = getattr(trace, name)
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, OSError)):
+                arr[0] = arr[0]
+
+    def test_disk_readback_is_not_writeable(self):
+        profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        clear_trace_cache()  # force the plane.load path
+        trace = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        assert not trace.gaps.flags.writeable
+        assert not trace.lines.flags.writeable
+        assert not trace.writes.flags.writeable
+
+    def test_slice_views_inherit_read_only(self):
+        trace = profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        sub = trace.slice(0, min(8, len(trace)))
+        assert not sub.lines.flags.writeable
+
+    def test_simulation_leaves_plane_arrays_intact(self):
+        """A full run over a plane-backed trace must not mutate it."""
+        cfg = SystemConfig.single_core().with_rop(training_refreshes=2)
+        trace = profile("gobmk").memory_trace(50_000, cfg.llc, seed=9)
+        snapshot = (
+            np.array(trace.gaps), np.array(trace.lines), np.array(trace.writes)
+        )
+        from repro.cpu.multicore import run_cores
+
+        for engine in ("scalar", "epoch"):
+            run_cores([trace], cfg, engine=engine)
+        assert (trace.gaps == snapshot[0]).all()
+        assert (trace.lines == snapshot[1]).all()
+        assert (trace.writes == snapshot[2]).all()
+
+
 class TestCorruption:
     def test_torn_array_is_dropped_and_recomputed(self):
         plane = get_trace_plane()
