@@ -140,6 +140,9 @@ def main() -> int:
         },
         "speedup": round(t_seq / t_par, 3) if t_par > 0 else None,
         "warm_speedup": round(t_seq / t_warm, 1) if t_warm > 0 else None,
+        "engine_fallbacks": stats_par.engine_fallbacks,
+        "quarantined": stats_par.quarantined,
+        "cache_evictions": stats_par.cache_evictions,
     }
     out = Path(args.out)
     history = []

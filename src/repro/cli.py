@@ -334,6 +334,51 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover
+
+
+def _cmd_cache(args) -> int:
+    """Inspect, bound, or heal the persistent artifact store."""
+    from .harness.cache_gc import collect, parse_quota, quota_from_env, usage, verify
+
+    root = Path(args.dir) if args.dir else None
+    if args.cache_cmd == "stats":
+        u = usage(root)
+        print(f"artifact store at {u['root']}")
+        print(f"  entries: {u['entries']} ({_fmt_bytes(u['bytes'])})")
+        for kind, agg in sorted(u["by_kind"].items()):
+            print(f"    {kind:7s}{agg['entries']:7d} entries  "
+                  f"{_fmt_bytes(agg['bytes'])}")
+        print(f"  quarantined files: {u['quarantined']}")
+        quota = quota_from_env()
+        if quota is not None:
+            print(f"  quota (REPRO_CACHE_QUOTA): {_fmt_bytes(quota)}")
+        return 0
+    if args.cache_cmd == "gc":
+        quota = parse_quota(args.quota) if args.quota else quota_from_env()
+        if quota is None:
+            print("repro cache gc: no quota given (pass --quota or set "
+                  "REPRO_CACHE_QUOTA)", file=sys.stderr)
+            return 2
+        res = collect(quota, root=root, dry_run=args.dry_run)
+        verb = "would evict" if res.dry_run else "evicted"
+        print(f"{verb} {res.evicted} entries ({_fmt_bytes(res.freed_bytes)}): "
+              f"{_fmt_bytes(res.bytes_before)} -> {_fmt_bytes(res.bytes_after)} "
+              f"against a {_fmt_bytes(res.quota)} quota; {res.kept} kept")
+        return 0
+    rep = verify(root)
+    for bad in rep["bad"]:
+        print(f"  quarantined corrupt entry {bad}", file=sys.stderr)
+    print(f"checked {rep['checked']} entries: {rep['corrupt']} corrupt "
+          f"(corrupt entries are moved to quarantine)")
+    return 1 if rep["corrupt"] else 0
+
+
 def _cmd_characterize(args) -> int:
     from .workloads import characterize
 
@@ -500,6 +545,36 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("benchmarks", nargs="+")
     common(sp)
     sp.set_defaults(func=_cmd_characterize)
+
+    sp = sub.add_parser(
+        "cache",
+        help="inspect, garbage-collect, or verify the persistent artifact "
+             "store (REPRO_CACHE_DIR)",
+    )
+    cache_sub = sp.add_subparsers(dest="cache_cmd", required=True)
+    csp = cache_sub.add_parser("stats", help="store size, entry counts, quota")
+    csp.add_argument("--dir", default=None, metavar="DIR",
+                     help="cache directory (default: REPRO_CACHE_DIR)")
+    csp.set_defaults(func=_cmd_cache)
+    csp = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size quota"
+    )
+    csp.add_argument("--dir", default=None, metavar="DIR",
+                     help="cache directory (default: REPRO_CACHE_DIR)")
+    csp.add_argument("--quota", default=None, metavar="SIZE",
+                     help="target size, e.g. 500M or 2G "
+                          "(default: REPRO_CACHE_QUOTA)")
+    csp.add_argument("--dry-run", action="store_true",
+                     help="report what would be evicted without deleting")
+    csp.set_defaults(func=_cmd_cache)
+    csp = cache_sub.add_parser(
+        "verify",
+        help="load-check every entry; corrupt ones are quarantined "
+             "(exit 1 if any were found)",
+    )
+    csp.add_argument("--dir", default=None, metavar="DIR",
+                     help="cache directory (default: REPRO_CACHE_DIR)")
+    csp.set_defaults(func=_cmd_cache)
 
     sp = sub.add_parser(
         "validate",

@@ -93,6 +93,7 @@ def run_cores(
     sink: TraceSink | None = None,
     instrument: Callable[[MemorySystem], None] | None = None,
     engine: str | None = None,
+    fallback_reasons: list[str] | None = None,
 ) -> MulticoreResult:
     """Run one co-simulation of ``traces`` (one per core) and return results.
 
@@ -116,6 +117,10 @@ def run_cores(
     object-dispatch loop) or ``"epoch"`` (the flat array-native kernel,
     bit-identical where supported, scalar fallback otherwise). ``None``
     defers to the ``REPRO_ENGINE`` environment variable, then scalar.
+
+    ``fallback_reasons``, when a list is passed, collects the epoch
+    kernel's decline reason (if any) for this call — per-call state, so
+    concurrent specs in one chunk each see their own reason.
     """
     from ..kernel import resolve_engine, run_epoch_kernel
 
@@ -132,7 +137,10 @@ def run_cores(
     cores = [Core(i, tr, memory, config.core) for i, tr in enumerate(placed)]
     kernel_ran = False
     if engine == "epoch":
-        kernel_ran = run_epoch_kernel(memory, cores, max_cycles, audited=audit)
+        declined = run_epoch_kernel(memory, cores, max_cycles, audited=audit)
+        kernel_ran = declined is None
+        if declined is not None and fallback_reasons is not None:
+            fallback_reasons.append(declined)
     if not kernel_ran:
         for c in cores:
             c.start()

@@ -24,9 +24,14 @@ Environment knobs:
   CLI's ``--no-cache`` flag does the same per invocation.
 
 Entries are pickled with an atomic write (temp file + ``os.replace``) so
-concurrent worker processes can populate the same cache safely; a
-corrupted or truncated entry is treated as a miss, deleted, and
-recomputed — never a crash.
+concurrent worker processes can populate the same cache safely, and a
+per-key advisory lock (:mod:`~repro.harness.locks`) deduplicates
+concurrent writers: the loser waits, sees the winner's entry, and skips
+its own write.  A corrupted or truncated entry is treated as a miss,
+moved to ``<cache-dir>/quarantine/`` for triage, and recomputed — never
+a crash.  Read hits touch the entry's mtime, giving the size-quota
+garbage collector (:mod:`~repro.harness.cache_gc`, ``REPRO_CACHE_QUOTA``)
+an LRU signal.
 """
 
 from __future__ import annotations
@@ -106,6 +111,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.quarantined = 0  #: corrupt entries moved to quarantine
         self.write_errors = 0
         self.bytes_written = 0  #: payload bytes persisted (size on disk)
         self.bytes_read = 0  #: payload bytes served from disk
@@ -130,44 +136,64 @@ class ArtifactCache:
             return default
         except Exception:
             # truncated write, foreign bytes, unpicklable class — recover
-            # by dropping the entry and recomputing.
+            # by quarantining the entry (the evidence survives for triage)
+            # and recomputing.
+            from .quarantine import quarantine_file
+
             self.corrupt += 1
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            if quarantine_file(path, self.root) is not None:
+                self.quarantined += 1
             return default
         self.hits += 1
         try:
             self.bytes_read += path.stat().st_size
+            os.utime(path)  # LRU signal for the size-quota GC
         except OSError:
             pass
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically (safe under contention)."""
+        """Store ``value`` under ``key`` atomically (safe under contention).
+
+        A per-key advisory lock deduplicates concurrent writers: the
+        loser waits for the winner, sees the entry exists, and skips its
+        own serialization+write.  The lock is best-effort — without it
+        (non-POSIX, unwritable dir) both writers proceed, which the
+        atomic replace still makes safe, just duplicated.
+        """
         path = self._path(key)
         try:
+            if "REPRO_CHAOS" in os.environ:  # deferred: chaos imports cache
+                from .chaos import inject_cache_write_error
+
+                inject_cache_write_error(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                    self.bytes_written += fh.tell()
-                os.replace(tmp, path)
-            except BaseException:
+            from .locks import file_lock
+
+            with file_lock(path.parent / f"{key}.lock"):
+                if path.exists():
+                    return  # a concurrent writer already persisted this key
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                        self.bytes_written += fh.tell()
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         except OSError as exc:
             # a read-only or full cache dir degrades to a no-op, not a
             # crash — but say so once, or every future run re-simulates
             # without the user ever learning why
             self.write_errors += 1
-            if not self._warned_unwritable:
+            # an injected chaos failure is not a broken cache dir — the
+            # warning would be a false alarm in every soak log
+            if not self._warned_unwritable and "REPRO_CHAOS" not in os.environ:
                 self._warned_unwritable = True
                 warnings.warn(
                     f"artifact cache at {self.root} is not writable "
@@ -198,6 +224,7 @@ class NullCache:
     hits = 0
     misses = 0
     corrupt = 0
+    quarantined = 0
     write_errors = 0
     bytes_written = 0
     bytes_read = 0

@@ -202,6 +202,9 @@ def render_runner_stats(stats) -> str:
             ("failed", stats.failed),
             ("pool rebuilds", stats.pool_rebuilds),
             ("cache write errors", getattr(stats, "cache_write_errors", 0)),
+            ("engine fallbacks", getattr(stats, "engine_fallbacks", 0)),
+            ("quarantined", getattr(stats, "quarantined", 0)),
+            ("cache evictions", getattr(stats, "cache_evictions", 0)),
         )
         if count
     ]

@@ -80,6 +80,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "ConfigError",
+    "EngineFallback",
     "ExecutionPolicy",
     "PlanExecutionError",
     "RunSpec",
@@ -262,7 +263,35 @@ def _export_worker_trace(spec: RunSpec, sink) -> "Path | None":
         return None
 
 
-def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
+@dataclass(frozen=True)
+class EngineFallback:
+    """One spec's epoch→scalar engine fallback (threaded per spec).
+
+    Replaces the old module-global ``kernel.last_fallback()``: reasons
+    are carried per spec through the chunk result records, so one
+    chunk-mate's fallback can never masquerade as another's.
+    """
+
+    key: str
+    workloads: tuple[str, ...]
+    #: ``declined`` (unsupported topology — routine, not counted) or
+    #: ``fault`` (the epoch engine raised; quarantined + scalar re-run)
+    kind: str
+    reason: str
+    exc_type: str = ""
+    #: quarantine bundle path (``fault`` only; empty if unwritable)
+    quarantine: str = ""
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.workloads)
+
+
+def run_spec(
+    spec: RunSpec,
+    audit: bool = False,
+    fallbacks: "list[EngineFallback] | None" = None,
+) -> MulticoreResult:
     """Execute one spec (pure function; also the worker-process entry).
 
     ``audit`` (or ``spec.audit``, or ``REPRO_AUDIT=1``) runs the
@@ -281,40 +310,105 @@ def run_spec(spec: RunSpec, audit: bool = False) -> MulticoreResult:
     :class:`~repro.validation.GoldenMismatchError` (classified
     ``invariant``) instead of returning — and caching — a result the
     analytical models contradict.
+
+    Under the epoch engine this function is the **degradation ladder**
+    (DESIGN.md §10): a topology the kernel declines runs scalar inside
+    ``run_cores`` and is recorded as a ``declined`` fallback; an
+    exception on the epoch path (engine fault, invariant violation,
+    golden mismatch) writes a quarantine bundle and transparently
+    re-runs the spec on the scalar engine, recorded as a ``fault``
+    fallback.  ``fallbacks``, when a list is passed, collects those
+    :class:`EngineFallback` records.
     """
     maybe_inject(spec)
+    chaos = "REPRO_CHAOS" in os.environ
+    if chaos:
+        from .chaos import inject_slow_spec, inject_worker_crash
+
+        inject_worker_crash(spec.key)
+        inject_slow_spec(spec.key)
+    from ..kernel import resolve_engine
+
+    engine = resolve_engine()
     traces = [
         profile(name).memory_trace(spec.instructions, spec.trace_llc, seed=spec.seed)
         for name in spec.workloads
     ]
     do_audit = audit or spec.audit or _env_flag("REPRO_AUDIT")
-    sink = None
-    session = None
-    if validation_enabled(spec):
-        # imported lazily: validation pulls in harness.faults, and the
-        # harness package imports this module at load time
-        from ..validation import GoldenMismatchError, ValidationSession
 
-        session = ValidationSession(spec.config)
-        sink = session.sink
-    elif telemetry_enabled(spec):
-        from ..telemetry import TraceSink
+    def _simulate(eng: str) -> tuple[MulticoreResult, list[str]]:
+        sink = None
+        session = None
+        if validation_enabled(spec):
+            # imported lazily: validation pulls in harness.faults, and the
+            # harness package imports this module at load time
+            from ..validation import GoldenMismatchError, ValidationSession
 
-        sink = TraceSink()
-    result = run_cores(
-        traces,
-        spec.config,
-        record_events=spec.record_events,
-        audit=do_audit,
-        sink=sink,
-        instrument=session.instrument if session is not None else None,
-    )
-    if session is not None:
-        mismatches = session.finish(result)
-        if mismatches:
-            raise GoldenMismatchError(mismatches)
-    if sink is not None and telemetry_enabled(spec):
-        _export_worker_trace(spec, sink)
+            session = ValidationSession(spec.config)
+            sink = session.sink
+        elif telemetry_enabled(spec):
+            from ..telemetry import TraceSink
+
+            sink = TraceSink()
+        declined: list[str] = []
+        result = run_cores(
+            traces,
+            spec.config,
+            record_events=spec.record_events,
+            audit=do_audit,
+            sink=sink,
+            instrument=session.instrument if session is not None else None,
+            engine=eng,
+            fallback_reasons=declined,
+        )
+        if session is not None:
+            mismatches = session.finish(result)
+            if mismatches:
+                raise GoldenMismatchError(mismatches)
+        if sink is not None and telemetry_enabled(spec):
+            _export_worker_trace(spec, sink)
+        return result, declined
+
+    if engine != "epoch":
+        return _simulate(engine)[0]
+    try:
+        if chaos:
+            from .chaos import inject_epoch_fault
+
+            inject_epoch_fault(spec.key)
+        result, declined = _simulate("epoch")
+    except Exception as exc:
+        # the degradation ladder: quarantine the evidence, then re-run on
+        # the reference scalar engine.  A fault the scalar engine shares
+        # (a genuine model bug) re-raises from the rerun and fails the
+        # spec with its usual classification.
+        from .quarantine import attach_result_digest, write_engine_fault_bundle
+
+        bundle = write_engine_fault_bundle(spec, exc)
+        result = _simulate("scalar")[0]
+        if bundle is not None:
+            attach_result_digest(bundle, result)
+        if fallbacks is not None:
+            fallbacks.append(
+                EngineFallback(
+                    key=spec.key,
+                    workloads=spec.workloads,
+                    kind="fault",
+                    reason=f"{type(exc).__name__}: {exc}",
+                    exc_type=type(exc).__name__,
+                    quarantine=str(bundle) if bundle is not None else "",
+                )
+            )
+    else:
+        if declined and fallbacks is not None:
+            fallbacks.append(
+                EngineFallback(
+                    key=spec.key,
+                    workloads=spec.workloads,
+                    kind="declined",
+                    reason=declined[0],
+                )
+            )
     return result
 
 
@@ -324,16 +418,19 @@ def _run_chunk(specs: list[RunSpec], audit: bool) -> list[tuple]:
     Failures are captured and classified *here*, in the worker, so a
     deterministic error in one spec is attributed to that spec alone and
     never costs its chunk-mates their results.  Each record is either
-    ``(key, "ok", result)`` or ``(key, "err", kind, exc_type, message,
-    traceback)`` — exception *strings*, not exception objects, so a
-    result pipe can never fail on an unpicklable exception.  A worker
-    that dies outright (crash, OOM kill) returns nothing; the parent
-    sees ``BrokenExecutor`` and falls back to serial culprit isolation.
+    ``(key, "ok", result, fallbacks)`` — ``fallbacks`` a tuple of this
+    spec's :class:`EngineFallback` records — or ``(key, "err", kind,
+    exc_type, message, traceback)`` — exception *strings*, not exception
+    objects, so a result pipe can never fail on an unpicklable
+    exception.  A worker that dies outright (crash, OOM kill) returns
+    nothing; the parent sees ``BrokenExecutor`` and falls back to serial
+    culprit isolation.
     """
     records: list[tuple] = []
     for spec in specs:
+        fallbacks: list[EngineFallback] = []
         try:
-            result = run_spec(spec, audit=audit)
+            result = run_spec(spec, audit=audit, fallbacks=fallbacks)
         except Exception as exc:
             records.append(
                 (
@@ -346,7 +443,7 @@ def _run_chunk(specs: list[RunSpec], audit: bool) -> list[tuple]:
                 )
             )
         else:
-            records.append((spec.key, "ok", result))
+            records.append((spec.key, "ok", result, tuple(fallbacks)))
     return records
 
 
@@ -540,6 +637,9 @@ class RunnerStats:
     failed: int = 0  #: specs that failed terminally (post-retry)
     pool_rebuilds: int = 0  #: broken process pools replaced
     cache_write_errors: int = 0  #: artifact-cache puts that failed (results not persisted)
+    engine_fallbacks: int = 0  #: epoch-engine faults absorbed by a scalar re-run
+    quarantined: int = 0  #: quarantine items written (fault bundles + corrupt entries)
+    cache_evictions: int = 0  #: entries removed by the end-of-plan size-quota GC
     chunks: int = 0  #: worker dispatches (futures) the plan's specs were batched into
     cache_bytes_written: int = 0  #: bytes persisted to disk (results + trace plane)
     prewarm_s: float = 0.0  #: parent-side trace-plane prewarm before fan-out
@@ -569,6 +669,9 @@ class RunnerStats:
         self.failed += other.failed
         self.pool_rebuilds += other.pool_rebuilds
         self.cache_write_errors += other.cache_write_errors
+        self.engine_fallbacks += other.engine_fallbacks
+        self.quarantined += other.quarantined
+        self.cache_evictions += other.cache_evictions
         self.chunks += other.chunks
         self.cache_bytes_written += other.cache_bytes_written
         self.prewarm_s += other.prewarm_s
@@ -635,10 +738,14 @@ class PlanResults:
         by_key: dict[str, MulticoreResult],
         stats: RunnerStats,
         failures: tuple[SpecFailure, ...] = (),
+        engine_fallbacks: tuple[EngineFallback, ...] = (),
     ) -> None:
         self._by_key = by_key
         self.stats = stats
         self.failures = failures
+        #: per-spec epoch→scalar fallback records from this plan's
+        #: executed specs (``declined`` and ``fault`` kinds alike)
+        self.engine_fallbacks = engine_fallbacks
 
     def __getitem__(self, spec: RunSpec) -> MulticoreResult:
         return self._by_key[spec.key]
@@ -724,6 +831,7 @@ class _PlanRunner:
         self.needs_backoff: set[str] = set()
         self.results: dict[str, MulticoreResult] = {}
         self.failures: dict[str, SpecFailure] = {}
+        self.fallbacks: list[EngineFallback] = []
         self.pool: ProcessPoolExecutor | None = None
         #: in-flight chunks: future → the spec keys it carries
         self.pending: dict[Future, tuple[str, ...]] = {}
@@ -741,9 +849,20 @@ class _PlanRunner:
 
     # -- shared bookkeeping -------------------------------------------------
 
-    def _record_success(self, key: str, result: MulticoreResult) -> None:
+    def _record_success(
+        self,
+        key: str,
+        result: MulticoreResult,
+        fallbacks: tuple[EngineFallback, ...] = (),
+    ) -> None:
         self.results[key] = result
         _RESULT_MEMO[key] = result
+        for fb in fallbacks:
+            self.fallbacks.append(fb)
+            if fb.kind == "fault":
+                self.stats.engine_fallbacks += 1
+                if fb.quarantine:
+                    self.stats.quarantined += 1
         # flush immediately: a later crash or kill must not lose this
         self.cache.put(key, result)
 
@@ -804,8 +923,11 @@ class _PlanRunner:
             spec = self.specs[key]
             while True:
                 self.attempts[key] += 1
+                fallbacks: list[EngineFallback] = []
                 try:
-                    result = run_spec(spec, audit=self.policy.audit)
+                    result = run_spec(
+                        spec, audit=self.policy.audit, fallbacks=fallbacks
+                    )
                 except KeyboardInterrupt:
                     self.interrupted = "SIGINT"
                     return
@@ -818,7 +940,7 @@ class _PlanRunner:
                     self._record_failure(key, exc, kind)
                     break
                 else:
-                    self._record_success(key, result)
+                    self._record_success(key, result, tuple(fallbacks))
                     break
 
     # -- parallel engine ----------------------------------------------------
@@ -960,7 +1082,7 @@ class _PlanRunner:
             key = rec[0]
             seen.add(key)
             if rec[1] == "ok":
-                self._record_success(key, rec[2])
+                self._record_success(key, rec[2], rec[3] if len(rec) > 3 else ())
             else:
                 _, _, kind, exc_type, message, tb = rec
                 self._retry_or_fail_info(key, kind, exc_type, message, tb)
@@ -1130,6 +1252,7 @@ def execute_plan(
 
     plane = get_trace_plane()
     bytes_before = getattr(cache, "bytes_written", 0) + plane.bytes_written
+    quar_before = getattr(cache, "quarantined", 0) + plane.quarantined
     results: dict[str, MulticoreResult] = {}
     todo: list[tuple[str, RunSpec]] = []
     for key, spec in unique.items():
@@ -1153,6 +1276,7 @@ def execute_plan(
         todo.append((key, spec))
 
     failures: tuple[SpecFailure, ...] = ()
+    engine_fallbacks: tuple[EngineFallback, ...] = ()
     interrupted: str | None = None
     if todo:
         runner = _PlanRunner(todo, jobs, policy, cache, stats)
@@ -1169,8 +1293,39 @@ def execute_plan(
             runner.run_sequential([k for k, _ in todo])
         results.update(runner.results)
         failures = tuple(runner.failures.values())
+        engine_fallbacks = tuple(runner.fallbacks)
         interrupted = runner.interrupted
         stats.executed = sum(1 for n in runner.attempts.values() if n > 0)
+
+    # entries the stores quarantined during this plan's reads/writes, on
+    # top of the engine-fault bundles counted per spec
+    stats.quarantined += (
+        getattr(cache, "quarantined", 0) + plane.quarantined - quar_before
+    )
+
+    if not interrupted and getattr(cache, "root", None) is not None:
+        # end-of-plan auto-GC: a quota keeps a shared cache dir bounded,
+        # but never at the expense of the plan the caller is about to read
+        from .cache_gc import quota_from_env
+
+        quota = quota_from_env()
+        if quota is not None:
+            from .cache_gc import collect
+            from ..workloads import profile as _profile
+
+            protect: set[str] = set(unique)
+            for spec in unique.values():
+                for name in spec.workloads:
+                    try:
+                        protect.add(
+                            _profile(name).trace_key(
+                                spec.instructions, spec.trace_llc, seed=spec.seed
+                            )
+                        )
+                    except Exception:
+                        pass
+            gc_res = collect(quota, root=cache.root, protect=protect)
+            stats.cache_evictions = gc_res.evicted
 
     stats.wall_s = time.perf_counter() - t0
     stats.cache_write_errors = getattr(cache, "write_errors", 0) - write_errors_before
@@ -1191,7 +1346,7 @@ def execute_plan(
         raise KeyboardInterrupt(f"plan interrupted by {interrupted}")
     if failures and not policy.keep_going:
         raise PlanExecutionError(failures)
-    return PlanResults(results, stats, failures)
+    return PlanResults(results, stats, failures, engine_fallbacks)
 
 
 class RunPlan:

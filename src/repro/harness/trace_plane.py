@@ -21,9 +21,15 @@ Each array is written through a temp file + ``os.replace`` and the meta
 file is written *last*, so a writer that dies mid-store (crashed worker,
 kill -9) can never leave a loadable-but-torn entry: loads require the
 meta marker and validate every array's length against it.  Any load
-failure drops the entry and reports a miss — corruption is recovered by
-recomputing, never a crash.  The plane obeys the same ``REPRO_CACHE`` /
-``REPRO_CACHE_DIR`` knobs as the pickle cache.
+failure moves the entry's files to ``<cache-dir>/quarantine/`` and
+reports a miss — corruption is recovered by recomputing, never a crash,
+and the torn bytes survive for triage.  A per-key advisory lock
+(:mod:`~repro.harness.locks`) deduplicates concurrent prewarms of the
+same key: the losing writer waits, reads the winner's entry back, and
+skips its own store.  Read hits touch the commit marker's mtime, giving
+the size-quota GC (:mod:`~repro.harness.cache_gc`) an LRU signal.  The
+plane obeys the same ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` knobs as the
+pickle cache.
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ class TracePlane:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.quarantined = 0  #: corrupt entries moved to quarantine
         self.stores = 0
         self.write_errors = 0
         self.bytes_written = 0
@@ -91,6 +98,17 @@ class TracePlane:
             except OSError:
                 pass
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry's surviving files to quarantine."""
+        from .quarantine import quarantine_file
+
+        moved = False
+        for path in self.paths(key):
+            if path.exists():
+                moved = quarantine_file(path, self.root.parent) is not None or moved
+        if moved:
+            self.quarantined += 1
+
     # -- read ----------------------------------------------------------------
 
     def _read(self, key: str) -> AccessTrace | None:
@@ -102,7 +120,7 @@ class TracePlane:
             return None
         except (OSError, ValueError):
             self.corrupt += 1
-            self._drop(key)
+            self._quarantine(key)
             return None
         try:
             if meta.get("schema") != PLANE_SCHEMA:
@@ -121,9 +139,10 @@ class TracePlane:
                 tail_instructions=int(meta["tail_instructions"]),
             )
         except Exception:
-            # torn array, foreign bytes, stale schema — drop and recompute
+            # torn array, foreign bytes, stale schema — quarantine the
+            # evidence and recompute
             self.corrupt += 1
-            self._drop(key)
+            self._quarantine(key)
             return None
 
     def load(self, key: str) -> AccessTrace | None:
@@ -133,6 +152,10 @@ class TracePlane:
             self.misses += 1
         else:
             self.hits += 1
+            try:
+                os.utime(self._meta_path(key))  # LRU signal for the GC
+            except OSError:
+                pass
         return trace
 
     # -- write ---------------------------------------------------------------
@@ -144,31 +167,45 @@ class TracePlane:
         share page-cache pages instead of holding private heap copies.
         Returns None when the plane is unwritable or the readback failed
         (callers keep using the in-memory trace — never a crash).
+
+        A per-key advisory lock deduplicates concurrent prewarms: the
+        losing writer waits for the winner, reads the committed entry
+        back, and skips its own store (``stores`` is not incremented).
         """
+        from .locks import file_lock
+
         directory = self._dir(key)
         try:
             directory.mkdir(parents=True, exist_ok=True)
-            for name in _ARRAYS:
+            with file_lock(directory / f"{key}.lock"):
+                existing = self._read(key)
+                if existing is not None:
+                    return existing  # a concurrent prewarm beat us to it
+                for name in _ARRAYS:
+                    self._write_file(
+                        directory,
+                        self._array_path(key, name),
+                        lambda fh, n=name: np.save(fh, np.ascontiguousarray(getattr(trace, n))),
+                    )
+                meta = {
+                    "schema": PLANE_SCHEMA,
+                    "length": len(trace),
+                    "tail_instructions": int(trace.tail_instructions),
+                }
+                # the commit marker goes last: readers ignore marker-less entries
                 self._write_file(
                     directory,
-                    self._array_path(key, name),
-                    lambda fh, n=name: np.save(fh, np.ascontiguousarray(getattr(trace, n))),
+                    self._meta_path(key),
+                    lambda fh: fh.write(json.dumps(meta).encode()),
                 )
-            meta = {
-                "schema": PLANE_SCHEMA,
-                "length": len(trace),
-                "tail_instructions": int(trace.tail_instructions),
-            }
-            # the commit marker goes last: readers ignore marker-less entries
-            self._write_file(
-                directory,
-                self._meta_path(key),
-                lambda fh: fh.write(json.dumps(meta).encode()),
-            )
         except OSError:
             self.write_errors += 1
             return None
         self.stores += 1
+        if "REPRO_CHAOS" in os.environ:  # deferred: chaos imports this package
+            from .chaos import tear_plane_entry
+
+            tear_plane_entry(key, self._array_path(key, "lines"))
         return self._read(key)
 
     def _write_file(self, directory: Path, path: Path, write) -> None:
@@ -206,6 +243,7 @@ class NullTracePlane:
     hits = 0
     misses = 0
     corrupt = 0
+    quarantined = 0
     stores = 0
     write_errors = 0
     bytes_written = 0

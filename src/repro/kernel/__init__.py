@@ -1,5 +1,5 @@
 """Array-native epoch simulation kernel (see :mod:`repro.kernel.epoch`)."""
 
-from .epoch import ENGINES, last_fallback, resolve_engine, run_epoch_kernel
+from .epoch import ENGINES, resolve_engine, run_epoch_kernel
 
-__all__ = ["ENGINES", "last_fallback", "resolve_engine", "run_epoch_kernel"]
+__all__ = ["ENGINES", "resolve_engine", "run_epoch_kernel"]

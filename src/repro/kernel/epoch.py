@@ -36,8 +36,10 @@ sequences, and RNG consumption order.  That contract dictates the design:
 * **Scalar fallback**: topologies the flat state model does not cover
   (multi-channel, multi-rank, multi-core) and audited runs (the invariant
   ``RequestLog`` wraps ``controller.submit``, which the kernel bypasses)
-  fall back to the scalar engine silently; :func:`last_fallback` reports
-  why, and ``run_cores`` keeps producing identical results either way.
+  fall back to the scalar engine; :func:`run_epoch_kernel` returns the
+  decline reason to its caller (``run_cores`` threads it through to the
+  runner's per-spec fallback records), and ``run_cores`` keeps producing
+  identical results either way.
 
 On exit the kernel writes every piece of local state back into the real
 objects (banks, rank, channel, core, stats, event queue), so downstream
@@ -59,7 +61,7 @@ from ..core.state_machine import RopState
 from ..dram.bank import AccessPlan
 from ..dram.request import Coord, ReqKind, Request, ServiceKind
 
-__all__ = ["ENGINES", "last_fallback", "resolve_engine", "run_epoch_kernel"]
+__all__ = ["ENGINES", "resolve_engine", "run_epoch_kernel"]
 
 #: engine names accepted by ``run_cores(engine=...)`` / ``REPRO_ENGINE``
 ENGINES = ("scalar", "epoch")
@@ -71,15 +73,6 @@ _RETRY = 2  #: deduplicated scheduler wake-up
 _TICK = 3  #: tREFI grid tick (housekeeping: does not count as work)
 _PSTEP = 4  #: one Refresh-Pausing segment step (payload: state list)
 
-#: why the most recent epoch-engine request fell back to scalar (or None)
-_last_fallback: str | None = None
-
-
-def last_fallback() -> str | None:
-    """Reason the last ``run_epoch_kernel`` call declined to run, or None."""
-    return _last_fallback
-
-
 def resolve_engine(engine: str | None = None) -> str:
     """Resolve an engine choice: explicit argument > ``REPRO_ENGINE`` > scalar."""
     if engine is None:
@@ -90,28 +83,26 @@ def resolve_engine(engine: str | None = None) -> str:
     return engine
 
 
-def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> bool:
+def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> str | None:
     """Run the whole simulation through the flat kernel, if supported.
 
-    Returns True when the kernel ran (the caller must skip the scalar
-    ``core.start()`` / ``memory.run()`` path entirely), False when the
-    configuration needs the scalar engine (reason via :func:`last_fallback`).
+    Returns ``None`` when the kernel ran (the caller must skip the scalar
+    ``core.start()`` / ``memory.run()`` path entirely), or the decline
+    reason as a string when the configuration needs the scalar engine.
+    The reason is *returned*, never stashed in module state: one chunk's
+    specs decline independently, and each spec's reason must attribute to
+    that spec alone.
     """
-    global _last_fallback
-    _last_fallback = None
     org = memory.config.organization
     if audited:
-        _last_fallback = "audit wraps controller.submit, which the kernel bypasses"
-        return False
+        return "audit wraps controller.submit, which the kernel bypasses"
     if org.channels != 1 or org.ranks != 1:
-        _last_fallback = (
+        return (
             f"flat kernel state covers one channel x one rank, "
             f"got {org.channels}x{org.ranks}"
         )
-        return False
     if len(cores) != 1:
-        _last_fallback = f"single-core kernel, got {len(cores)} cores"
-        return False
+        return f"single-core kernel, got {len(cores)} cores"
 
     # ------------------------------------------------------------- localize
     events = memory.events
@@ -273,8 +264,7 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> bool:
         drain_before_refresh = cfg.rop.drain_before_refresh
         sram_latency = cfg.rop.sram_latency
         if any(e.tumbling for e in entries):  # ablation mode: not inlined
-            _last_fallback = "tumbling prediction-table ablation"
-            return False
+            return "tumbling prediction-table ablation"
         # prediction-table mirror: the hot per-request update runs against
         # flat locals; delegated readers (plan_prefetch at TICK) see the
         # real entries via flush_table(), and the refresh-time table reset
@@ -282,8 +272,7 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> bool:
         # flat layout per bank: [d1, f1, d2, ph2, f2, d3, ph3, f3] where d1
         # is the order-1 delta itself (the matchers' ks are fixed at 1,2,3)
         if any([m.k for m in e._matchers] != [1, 2, 3] for e in entries):
-            _last_fallback = "non-standard prediction-table matcher orders"
-            return False
+            return "non-standard prediction-table matcher orders"
         tb_last = [e.last_addr for e in entries]
         tb_hist = [list(e._history) for e in entries]
         tb_m = [
@@ -1711,4 +1700,4 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> bool:
     events._heap.clear()
     events._work = 0
     events._seq = seq
-    return True
+    return None

@@ -83,6 +83,26 @@ class TestArtifactCache:
         assert cache.get(key, MISS) is MISS
         assert cache.corrupt == 1
 
+    def test_torn_pickle_moves_to_quarantine(self, tmp_path):
+        """Corrupt entries are evidence: moved for triage, never deleted."""
+        cache = ArtifactCache(tmp_path)
+        key = "ab" + "2" * 38
+        cache.put(key, list(range(50)))
+        torn_bytes = pickle.dumps(list(range(50)))[:7]
+        cache._path(key).write_bytes(torn_bytes)
+        assert cache.get(key, MISS) is MISS
+        assert cache.quarantined == 1
+        qdir = tmp_path / "quarantine"
+        moved = list(qdir.iterdir())
+        assert len(moved) == 1
+        assert moved[0].name.endswith(".quar")
+        assert moved[0].read_bytes() == torn_bytes
+        # the renamed file never rejoins the store: a fresh put works and
+        # clear() only sees the live entry
+        cache.put(key, [1, 2])
+        assert cache.get(key) == [1, 2]
+        assert cache.clear() == 1
+
     def test_clear(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         for i in range(5):

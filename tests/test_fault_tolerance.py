@@ -225,6 +225,39 @@ class TestInterrupt:
         assert last_stats().executed == 2
         assert resumed.ok(*specs)
 
+    def test_sigint_drains_under_chunked_dispatch(
+        self, tmp_path, faults, capfd, monkeypatch
+    ):
+        """With chunk_size=2 the fast pair shares one chunk: its harvested
+        results must be persisted before the interrupt unwinds."""
+        cache = ArtifactCache(tmp_path / "cache")
+        specs = tiny_specs(("gobmk", "lbm", "bzip2", "astar"))
+        faults({"bzip2": {"mode": "hang", "seconds": 600},
+                "astar": {"mode": "hang", "seconds": 600}})
+        timer = threading.Timer(4.0, os.kill, (os.getpid(), signal.SIGINT))
+        timer.start()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                execute_plan(
+                    specs, jobs=2, cache=cache,
+                    policy=policy(keep_going=True, chunk_size=2),
+                )
+        finally:
+            timer.cancel()
+        # the fast chunk's two specs were flushed before the interrupt
+        assert cache._path(specs[0].key).exists()
+        assert cache._path(specs[1].key).exists()
+        assert "re-run the same command to resume" in capfd.readouterr().err
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        clear_result_memo()
+        resumed = execute_plan(
+            specs, jobs=2, cache=cache, policy=policy(chunk_size=2)
+        )
+        assert last_stats().cache_hits == 2
+        assert last_stats().executed == 2
+        assert resumed.ok(*specs)
+
 
 class TestEquivalence:
     def test_fault_tolerance_features_do_not_change_results(self):

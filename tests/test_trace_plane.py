@@ -173,6 +173,25 @@ class TestCorruption:
         plane._meta_path(key).write_text(json.dumps(meta))
         assert plane.load(key) is None
 
+    def test_corrupt_entry_is_quarantined_for_triage(self):
+        """A torn entry's surviving files move to quarantine, not the void."""
+        plane = get_trace_plane()
+        profile("gobmk").memory_trace(50_000, LLC, seed=9)
+        key = profile("gobmk").trace_key(50_000, LLC, seed=9)
+        path = plane._array_path(key, "lines")
+        torn_bytes = path.read_bytes()[:16]
+        path.write_bytes(torn_bytes)
+        assert plane.load(key) is None
+        assert plane.quarantined == 1
+        assert not any(p.exists() for p in plane.paths(key))
+        qdir = plane.root.parent / "quarantine"
+        moved = sorted(p.name for p in qdir.iterdir())
+        assert len(moved) == 4  # three arrays + the commit marker
+        assert all(n.endswith(".quar") for n in moved)
+        # the torn bytes survive verbatim for offline triage
+        torn = next(p for p in qdir.iterdir() if ".lines." in p.name)
+        assert torn.read_bytes() == torn_bytes
+
 
 class TestPlanLifecycle:
     def test_trace_materialized_once_and_shared_across_specs(self):
@@ -227,3 +246,40 @@ class TestPlanLifecycle:
         p.memory_trace(50_000, LLC, seed=10)
         p.memory_trace(50_000, LlcConfig(size_bytes=1 << 20), seed=9)
         assert plane.stores == 3  # three distinct artifacts, no aliasing
+
+
+def _racing_store(root, key, barrier, q):
+    """Child-process body: store one trace into the shared plane dir."""
+    plane = TracePlane(root)
+    n = 2000
+    trace = AccessTrace.from_lists(
+        [1] * n, list(range(n)), [False] * n, 5
+    )
+    barrier.wait()  # maximize writer overlap
+    out = plane.store(key, trace)
+    q.put((plane.stores, out is not None))
+
+
+class TestConcurrency:
+    def test_concurrent_prewarms_store_once(self):
+        """Two processes racing on one key: the advisory lock picks one
+        writer; the loser reads the winner's committed entry back."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        plane = get_trace_plane()
+        key = "cc" + "7" * 38
+        barrier = ctx.Barrier(2)
+        q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_racing_store, args=(plane.root, key, barrier, q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = [q.get(timeout=30) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        assert sum(stores for stores, _ in outcomes) == 1
+        assert all(ok for _, ok in outcomes)
+        assert plane._read(key) is not None
