@@ -1,0 +1,336 @@
+#!/usr/bin/env python
+"""Load soak: hammer a warm `repro serve` instance with concurrent clients.
+
+The serving claim this script enforces (CI job ``service-smoke``): after
+one cold fill, a K-client storm of result fetches and idempotent plan
+resubmissions completes with **zero errors** and a **100% cache
+hit-rate**, and every result fetched over HTTP is **byte-identical**
+(same pickle digest) to an in-process ``repro``-CLI-equivalent run of
+the same spec in a fresh cache dir.  Warm-hit latency percentiles
+(p50/p95/p99) and throughput land in ``BENCH_service.json``.
+
+Phases:
+
+1. *boot* — spawn ``python -m repro serve --port 0`` on a fresh cache
+   dir (skipped when ``--url`` points at a running server);
+2. *cold fill* — POST the corpus plan, poll ``/plans/{id}`` to
+   completion, assert zero failures;
+3. *digest cross-check* — simulate the same specs in-process against a
+   *different* fresh cache dir and compare digests against
+   ``GET /results/{fingerprint}``;
+4. *soak* — K threads × M requests each (result fetches, job polls,
+   idempotent plan re-POSTs), all required to return 200/304 with
+   ``X-Cache: hit`` where the header applies.
+
+Usage::
+
+    PYTHONPATH=src python scripts/load_soak.py --clients 8 --requests 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def build_plan(instructions: int, seed: int) -> dict:
+    """The warm corpus: every benchmark × {baseline, rop}."""
+    from repro.workloads import SPEC_PROFILES
+
+    specs = []
+    for name in SPEC_PROFILES:
+        specs.append(
+            {
+                "workloads": [name],
+                "system": "baseline",
+                "instructions": instructions,
+                "seed": seed,
+            }
+        )
+        specs.append(
+            {
+                "workloads": [name],
+                "system": "rop",
+                "instructions": instructions,
+                "seed": seed,
+                "training_refreshes": 3,
+            }
+        )
+    return {"specs": specs}
+
+
+class Client:
+    """One keep-alive HTTP connection with JSON helpers."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.conn = http.client.HTTPConnection(host, port, timeout=120)
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                headers: dict | None = None):
+        payload = json.dumps(body) if body is not None else None
+        self.conn.request(method, path, body=payload, headers=headers or {})
+        resp = self.conn.getresponse()
+        data = resp.read()
+        doc = json.loads(data) if data else None
+        return resp.status, dict(resp.getheaders()), doc
+
+
+def boot_server(cache_dir: Path, jobs: int) -> tuple[subprocess.Popen, int]:
+    """Spawn ``repro serve`` on an ephemeral port; returns (proc, port)."""
+    env = dict(os.environ)
+    env.update(
+        PYTHONPATH=str(ROOT / "src"),
+        REPRO_CACHE="on",
+        REPRO_CACHE_DIR=str(cache_dir),
+        PYTHONUNBUFFERED="1",
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", str(jobs)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if m:
+            return proc, int(m.group(1))
+    proc.kill()
+    raise RuntimeError("repro serve never reported its port")
+
+
+def wait_for_job(client: Client, job_id: str, timeout_s: float = 600) -> dict:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        status, _, doc = client.request("GET", f"/plans/{job_id}")
+        if status != 200:
+            raise RuntimeError(f"GET /plans/{job_id} -> {status}: {doc}")
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.25)
+    raise RuntimeError(f"job {job_id} did not finish within {timeout_s}s")
+
+
+def local_digests(plan: dict, cache_dir: Path) -> dict[str, str]:
+    """Digests of the same specs simulated in-process (the CLI path)."""
+    os.environ["REPRO_CACHE"] = "on"
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    from repro.harness import execute_plan, spec_fingerprint
+    from repro.harness.quarantine import result_digest
+    from repro.service import spec_from_descriptor
+
+    specs = [spec_from_descriptor(d, i) for i, d in enumerate(plan["specs"])]
+    results = execute_plan(specs, jobs=1)
+    return {spec_fingerprint(s): result_digest(results[s]) for s in specs}
+
+
+def percentile(sorted_ms: list[float], p: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, max(0, round(p / 100 * (len(sorted_ms) - 1))))
+    return sorted_ms[idx]
+
+
+def soak(host: str, port: int, plan: dict, job_id: str,
+         fingerprints: list[str], clients: int, requests: int):
+    """K concurrent clients; returns (latencies_ms, errors, hits, checked)."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    hits = [0] * clients
+    checked = [0] * clients
+    barrier = threading.Barrier(clients)
+
+    def worker(cid: int) -> None:
+        client = Client(host, port)
+        barrier.wait()
+        for i in range(requests):
+            fp = fingerprints[(cid + i) % len(fingerprints)]
+            if i % 7 == 3:
+                kind, method, path, body = "poll", "GET", f"/plans/{job_id}", None
+            elif i % 5 == 2:
+                kind, method, path, body = "resubmit", "POST", "/plans", plan
+            else:
+                kind, method, path, body = "result", "GET", f"/results/{fp}", None
+            t0 = time.perf_counter()
+            try:
+                status, headers, doc = client.request(method, path, body)
+            except Exception as exc:
+                errors.append(f"client {cid} req {i} {kind}: {exc}")
+                client = Client(host, port)  # reconnect, keep soaking
+                continue
+            latencies[cid].append((time.perf_counter() - t0) * 1e3)
+            if status not in (200, 304):
+                errors.append(
+                    f"client {cid} req {i} {kind}: HTTP {status}: {doc}"
+                )
+                continue
+            if kind in ("result", "resubmit"):
+                checked[cid] += 1
+                if headers.get("X-Cache") == "hit":
+                    hits[cid] += 1
+                else:
+                    errors.append(
+                        f"client {cid} req {i} {kind}: X-Cache "
+                        f"{headers.get('X-Cache')!r} (expected hit)"
+                    )
+
+    threads = [
+        threading.Thread(target=worker, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    flat = sorted(ms for per in latencies for ms in per)
+    return flat, errors, sum(hits), sum(checked), wall
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--url", default=None,
+                    help="soak an already-running server (host:port) instead "
+                         "of booting one")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--requests", type=int, default=25,
+                    help="requests per client")
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="server worker fleet for the cold fill")
+    ap.add_argument("--instructions", type=int, default=120_000)
+    ap.add_argument("--seed", type=int, default=5)
+    ap.add_argument("--out", default="BENCH_service.json")
+    ap.add_argument("--skip-digest-check", action="store_true",
+                    help="skip the in-process digest cross-check "
+                         "(saves one serial corpus simulation)")
+    args = ap.parse_args()
+    assert args.clients >= 1
+
+    plan = build_plan(args.instructions, args.seed)
+    print(f"load soak: {len(plan['specs'])} specs, {args.clients} clients × "
+          f"{args.requests} requests")
+
+    ok = True
+    proc = None
+    bench: dict = {
+        "schema": 1,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "plan_specs": len(plan["specs"]),
+        "instructions": args.instructions,
+    }
+    with tempfile.TemporaryDirectory(prefix="soak-svc-") as tmp:
+        try:
+            if args.url:
+                host, _, port = args.url.rpartition(":")
+                host = host.replace("http://", "").strip("/") or "127.0.0.1"
+                port = int(port)
+            else:
+                proc, port = boot_server(Path(tmp) / "server-cache", args.jobs)
+                host = "127.0.0.1"
+            client = Client(host, port)
+
+            # phase 2: cold fill
+            t0 = time.perf_counter()
+            status, _, doc = client.request("POST", "/plans", plan)
+            if status not in (200, 202):
+                print(f"FAIL: POST /plans -> {status}: {doc}")
+                return 1
+            job = wait_for_job(client, doc["id"])
+            cold_s = time.perf_counter() - t0
+            bench["cold_fill_s"] = round(cold_s, 3)
+            fingerprints = sorted({s["fingerprint"] for s in job["specs"]})
+            print(f"cold fill: {job['state']} in {cold_s:.1f}s "
+                  f"({len(fingerprints)} unique specs, "
+                  f"executed {job['stats'].get('executed')})")
+            if job["state"] != "done" or job["failures"]:
+                print(f"FAIL: cold fill state={job['state']} "
+                      f"failures={job['failures']}")
+                return 1
+
+            # phase 3: digest cross-check vs an in-process jobs=1 run
+            if not args.skip_digest_check:
+                expected = local_digests(plan, Path(tmp) / "local-cache")
+                mismatched = missing = 0
+                for fp in fingerprints:
+                    status, headers, doc = client.request(
+                        "GET", f"/results/{fp}"
+                    )
+                    if status != 200:
+                        missing += 1
+                        continue
+                    if doc["digest"] != expected[fp]:
+                        mismatched += 1
+                bench["digests_checked"] = len(fingerprints)
+                bench["digest_mismatches"] = mismatched
+                if mismatched or missing:
+                    ok = False
+                    print(f"FAIL: digest cross-check: {mismatched} mismatched, "
+                          f"{missing} missing of {len(fingerprints)}")
+                else:
+                    print(f"OK  all {len(fingerprints)} service digests match "
+                          f"the in-process run")
+
+            # phase 4: the storm
+            lat, errors, hit, checked, wall = soak(
+                host, port, plan, job["id"], fingerprints,
+                args.clients, args.requests,
+            )
+            hit_rate = hit / checked if checked else 0.0
+            bench.update(
+                total_requests=len(lat),
+                errors=len(errors),
+                cache_checked=checked,
+                cache_hits=hit,
+                hit_rate=round(hit_rate, 4),
+                soak_wall_s=round(wall, 3),
+                throughput_rps=round(len(lat) / wall, 1) if wall else 0.0,
+                p50_ms=round(percentile(lat, 50), 3),
+                p95_ms=round(percentile(lat, 95), 3),
+                p99_ms=round(percentile(lat, 99), 3),
+            )
+            print(f"soak: {len(lat)} requests in {wall:.1f}s "
+                  f"({bench['throughput_rps']} req/s), "
+                  f"p50 {bench['p50_ms']}ms p95 {bench['p95_ms']}ms "
+                  f"p99 {bench['p99_ms']}ms")
+            print(f"      hit-rate {hit_rate:.1%} ({hit}/{checked}), "
+                  f"{len(errors)} errors")
+            for err in errors[:5]:
+                print(f"  ERR {err}")
+            if errors or hit_rate < 1.0:
+                ok = False
+        finally:
+            if proc is not None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    bench["pass"] = ok
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    print("load soak: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

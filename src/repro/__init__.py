@@ -25,7 +25,7 @@ from .config import (
 )
 from .dram import DDR4_1600, DDR4_2400, DramTimings, MemorySystem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CACHE_LINE_BYTES",

@@ -138,8 +138,30 @@ def iter_entries(root: str | Path | None = None) -> list[CacheEntry]:
     return entries
 
 
+def _dir_usage(path: Path) -> tuple[int, int]:
+    """(file count, total bytes) under ``path``, recursively."""
+    files = total = 0
+    if path.is_dir():
+        for p in path.rglob("*"):
+            if p.is_file():
+                files += 1
+                try:
+                    total += p.stat().st_size
+                except OSError:
+                    pass
+    return files, total
+
+
 def usage(root: str | Path | None = None) -> dict:
-    """Store statistics for ``repro cache stats``."""
+    """Store statistics for ``repro cache stats``.
+
+    Beyond live entries, the administrative trees are reported too:
+    the ``quarantine/`` directory (corrupt entries + engine-fault
+    bundles, as a count and byte total) and any ``chaos/<seed>/``
+    marker directories left behind by :mod:`~repro.harness.chaos`
+    soaks — both are invisible to the GC, so this is the only place a
+    growing pile of triage material becomes visible.
+    """
     root = Path(root) if root is not None else default_cache_dir()
     entries = iter_entries(root)
     by_kind: dict[str, dict] = {}
@@ -147,14 +169,24 @@ def usage(root: str | Path | None = None) -> dict:
         agg = by_kind.setdefault(e.kind, {"entries": 0, "bytes": 0})
         agg["entries"] += 1
         agg["bytes"] += e.bytes
-    qdir = root / "quarantine"
-    quarantined = sum(1 for _ in qdir.iterdir()) if qdir.is_dir() else 0
+    quarantined, quarantine_bytes = _dir_usage(root / "quarantine")
+    chaos_root = root / "chaos"
+    chaos_seeds = (
+        sorted(d.name for d in chaos_root.iterdir() if d.is_dir())
+        if chaos_root.is_dir()
+        else []
+    )
+    chaos_markers, chaos_bytes = _dir_usage(chaos_root)
     return {
         "root": str(root),
         "entries": len(entries),
         "bytes": sum(e.bytes for e in entries),
         "by_kind": by_kind,
         "quarantined": quarantined,
+        "quarantine_bytes": quarantine_bytes,
+        "chaos_seeds": chaos_seeds,
+        "chaos_markers": chaos_markers,
+        "chaos_bytes": chaos_bytes,
     }
 
 

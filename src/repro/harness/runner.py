@@ -88,10 +88,12 @@ __all__ = [
     "PlanResults",
     "RunnerStats",
     "SpecFailure",
+    "cached_result",
     "classify_failure",
     "current_policy",
     "execute_plan",
     "run_spec",
+    "spec_fingerprint",
     "validation_enabled",
     "resolve_jobs",
     "core_llc_share",
@@ -223,6 +225,40 @@ class RunSpec:
             instructions=scale.instructions,
             seed=scale.seed,
         )
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """Stable public content fingerprint of ``spec`` — its cache address.
+
+    This is the promoted, supported form of the internal cache-key
+    computation (``RunSpec.key``): a 40-hex-char sha256 prefix over the
+    canonicalized workload set, full :class:`~repro.config.SystemConfig`,
+    trace-LLC geometry, run length, seed and ``record_events`` flag, all
+    under the current ``CACHE_SCHEMA``.  Two processes (or two hosts)
+    always agree on it, which is what lets the service plane
+    (:mod:`repro.service`) use fingerprints as public result addresses
+    and ETags.  Observation-only fields (``audit``, ``telemetry``,
+    ``validate``) are excluded — they never change the result.
+    """
+    return spec.key
+
+
+def cached_result(key: str) -> MulticoreResult | None:
+    """The stored result for a spec fingerprint, or None when absent.
+
+    Read-through order matches :func:`execute_plan`: the in-process memo
+    first, then the persistent artifact cache (a disk hit is promoted
+    into the memo).  Never simulates — this is the service plane's
+    cheap ``GET`` path.
+    """
+    memoized = _RESULT_MEMO.get(key)
+    if memoized is not None:
+        return memoized
+    cached = get_cache().get(key, MISS)
+    if cached is MISS:
+        return None
+    _RESULT_MEMO[key] = cached
+    return cached
 
 
 def telemetry_enabled(spec: RunSpec | None = None) -> bool:

@@ -1509,7 +1509,10 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> str | Non
                             if prof.counts is not cts:
                                 del mir_pending[:]
                             if not sm.is_training:
-                                b_count = len(acyc) - bisect_left(
+                                # scalar count_in_window is half-open
+                                # [cycle - window, cycle): an arrival at
+                                # exactly ``cycle`` must not count
+                                b_count = bisect_left(acyc, cycle) - bisect_left(
                                     acyc, cycle - window
                                 )
                                 if (
@@ -1583,7 +1586,11 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> str | Non
                             if sm.is_training:
                                 mir_expire(start)
                                 hi = len(acyc)
-                                b = hi - bisect_left(acyc, start - window)
+                                # [start - window, start): same half-open
+                                # window as the scalar profiler
+                                b = bisect_left(acyc, start) - bisect_left(
+                                    acyc, start - window
+                                )
                                 mir_pending.append(
                                     [start, start + a_window, b, hi]
                                 )

@@ -1,0 +1,134 @@
+"""Async dispatcher: drains the job queue through ``execute_plan``.
+
+One background asyncio task owns the queue.  Jobs run **one at a time**,
+each as a single ``execute_plan`` call pushed onto a dedicated
+single-thread executor so the event loop stays free to serve reads
+while a plan simulates.  That FIFO discipline is also the service-level
+dedup guarantee: when N clients submit overlapping plans concurrently,
+the first job simulates the shared specs and every later job is served
+from the in-process memo / artifact cache — one simulation per unique
+spec, with the PR 7 per-key file locks covering the residual race of
+independent *worker processes* writing the same entry.
+
+Inside the executor the full PR 2/7 machinery applies unchanged:
+chunked ``ProcessPoolExecutor`` fan-out across the worker fleet,
+failure taxonomy and retries, broken-pool rebuilds, quarantine, chaos.
+The dispatcher always runs plans with ``keep_going`` — a service must
+return a failure table, not tear down the process — and translates
+:class:`~repro.harness.PlanResults` into the job record: per-spec
+failures, the ``RunnerStats`` snapshot, and the plan-wide merged
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from ..harness import PlanResults, current_policy, execute_plan
+from .specs import spec_from_descriptor
+from .store import Job, JobStore
+
+__all__ = ["Dispatcher"]
+
+
+def _failure_rows(results: PlanResults) -> list[dict]:
+    """The runner's failure table, JSON-shaped for the job journal."""
+    return [
+        {
+            "fingerprint": f.key,
+            "label": f.label,
+            "kind": f.kind,
+            "exc_type": f.exc_type,
+            "message": f.message,
+            "attempts": f.attempts,
+        }
+        for f in results.failures
+    ]
+
+
+class Dispatcher:
+    """Background job-plane worker bound to one event loop."""
+
+    def __init__(self, store: JobStore, *, default_jobs: int = 1) -> None:
+        self.store = store
+        self.default_jobs = default_jobs
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-dispatch"
+        )
+        self._task: asyncio.Task | None = None
+        self.completed = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the drain task (requeuing any crash-recovered jobs first)."""
+        for job in self.store.recover():
+            self._queue.put_nowait(job)
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Cancel the drain task and release the executor thread."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def enqueue(self, job: Job) -> None:
+        self._queue.put_nowait(job)
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting behind the one (maybe) in flight."""
+        return self._queue.qsize()
+
+    # -------------------------------------------------------------- workers
+
+    async def _drain(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # job-level fault: record, keep serving
+                self.store.finish(
+                    job,
+                    error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                )
+            finally:
+                self.completed += 1
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        if job.state != "queued":  # a resubmission raced a finished job
+            return
+        specs = [
+            spec_from_descriptor(raw, i) for i, raw in enumerate(job.request)
+        ]
+        self.store.mark_running(job)
+        policy = dataclasses.replace(current_policy(), keep_going=True)
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            self._pool,
+            lambda: execute_plan(
+                specs, jobs=job.jobs or self.default_jobs, policy=policy
+            ),
+        )
+        self.store.finish(
+            job,
+            failures=_failure_rows(results),
+            stats=dataclasses.asdict(results.stats),
+            metrics=results.merged_metrics(),
+        )
+
+    # fleet knob surfaced for /healthz
+    def describe(self) -> dict:
+        return {"default_jobs": self.default_jobs, "queue_depth": self.depth}

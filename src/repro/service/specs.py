@@ -1,0 +1,175 @@
+"""Wire format for plan submissions: JSON spec descriptors ↔ RunSpecs.
+
+A *plan request* is the JSON document a client POSTs to ``/plans`` (and
+the file ``repro fingerprint --plan`` reads)::
+
+    {
+      "jobs": 2,                  # optional worker-fleet override
+      "specs": [
+        {
+          "workloads": ["lbm"],   # 1 name, or up to 4 for a mix
+          "system": "rop",        # a validation-corpus system flavor
+          "instructions": 400000,
+          "seed": 1,
+          "training_refreshes": 5 # optional, ROP systems only
+        },
+        ...
+      ]
+    }
+
+The vocabulary is deliberately the validation corpus's: ``system`` names
+one of :func:`repro.validation.system_config`'s flavors, so a service
+deployment can only be asked for configurations the golden models
+already cover.  Descriptors are *declarative* — the server materializes
+each one into a :class:`~repro.harness.RunSpec` and addresses its result
+by :func:`~repro.harness.spec_fingerprint`, which is also the ETag the
+HTTP layer hands back.
+
+Malformed requests raise :class:`PlanRequestError` with a message safe
+to return verbatim in a 400 body; nothing in this module touches the
+store or the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..harness import RunScale, RunSpec, spec_fingerprint
+from ..harness.cache import fingerprint
+from ..harness.runner import core_llc_share
+from ..validation import known_systems, system_config
+from ..workloads import SPEC_PROFILES
+
+__all__ = [
+    "PlanRequestError",
+    "MAX_PLAN_SPECS",
+    "spec_from_descriptor",
+    "parse_plan_request",
+    "plan_fingerprint",
+    "descriptor_label",
+]
+
+#: hard per-request bound — a single POST cannot enqueue an unbounded grid
+MAX_PLAN_SPECS = 256
+
+#: instruction-budget bound per spec; matches the largest committed scale
+#: with head-room (the service is for interactive plans, not overnight runs)
+MAX_INSTRUCTIONS = 50_000_000
+
+
+class PlanRequestError(ValueError):
+    """A plan request is malformed; the message is client-safe."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise PlanRequestError(msg)
+
+
+def spec_from_descriptor(raw: Any, index: int = 0) -> RunSpec:
+    """Materialize one spec descriptor into a :class:`RunSpec`."""
+    where = f"specs[{index}]"
+    _require(isinstance(raw, dict), f"{where}: descriptor must be an object")
+    unknown = set(raw) - {
+        "workloads", "system", "instructions", "seed", "training_refreshes",
+    }
+    _require(not unknown, f"{where}: unknown fields {sorted(unknown)}")
+
+    workloads = raw.get("workloads")
+    _require(
+        isinstance(workloads, list) and 1 <= len(workloads) <= 4,
+        f"{where}: 'workloads' must list 1-4 benchmark names",
+    )
+    for name in workloads:
+        _require(
+            isinstance(name, str) and name in SPEC_PROFILES,
+            f"{where}: unknown workload {name!r}; known: {', '.join(SPEC_PROFILES)}",
+        )
+
+    system = raw.get("system", "baseline")
+    try:
+        config = system_config(system)
+    except ValueError:
+        raise PlanRequestError(
+            f"{where}: unknown system {system!r}; known: {', '.join(known_systems())}"
+        ) from None
+
+    instructions = raw.get("instructions", 400_000)
+    _require(
+        isinstance(instructions, int) and 10_000 <= instructions <= MAX_INSTRUCTIONS,
+        f"{where}: 'instructions' must be an int in "
+        f"[10000, {MAX_INSTRUCTIONS}], got {instructions!r}",
+    )
+    seed = raw.get("seed", 1)
+    _require(
+        isinstance(seed, int) and 0 <= seed < 2**31,
+        f"{where}: 'seed' must be a non-negative 31-bit int, got {seed!r}",
+    )
+
+    training = raw.get("training_refreshes")
+    if training is not None:
+        _require(
+            isinstance(training, int) and 1 <= training <= 1000,
+            f"{where}: 'training_refreshes' must be an int in [1, 1000]",
+        )
+        _require(
+            config.rop.enabled,
+            f"{where}: 'training_refreshes' set on non-ROP system {system!r}",
+        )
+        config = config.with_rop(training_refreshes=training)
+
+    scale = RunScale(instructions=instructions, seed=seed)
+    if len(workloads) == 1:
+        return RunSpec.benchmark(workloads[0], config, scale)
+    return RunSpec(
+        workloads=tuple(workloads),
+        config=config,
+        trace_llc=core_llc_share(config.llc.size_bytes, cores=len(workloads)),
+        instructions=instructions,
+        seed=seed,
+    )
+
+
+def parse_plan_request(doc: Any) -> tuple[list[dict], list[RunSpec], int | None]:
+    """Validate a plan request; returns (descriptors, specs, jobs override).
+
+    The returned descriptors are the raw dicts (journaled verbatim so a
+    crash-recovered job can re-materialize its specs), in request order;
+    ``specs`` are their materialized forms, index-aligned.
+    """
+    _require(isinstance(doc, dict), "plan request must be a JSON object")
+    unknown = set(doc) - {"specs", "jobs"}
+    _require(not unknown, f"unknown top-level fields {sorted(unknown)}")
+    raw_specs = doc.get("specs")
+    _require(
+        isinstance(raw_specs, list) and raw_specs,
+        "plan request needs a non-empty 'specs' list",
+    )
+    _require(
+        len(raw_specs) <= MAX_PLAN_SPECS,
+        f"plan too large: {len(raw_specs)} specs > limit {MAX_PLAN_SPECS}",
+    )
+    jobs = doc.get("jobs")
+    if jobs is not None:
+        _require(
+            isinstance(jobs, int) and 1 <= jobs <= 64,
+            f"'jobs' must be an int in [1, 64], got {jobs!r}",
+        )
+    specs = [spec_from_descriptor(raw, i) for i, raw in enumerate(raw_specs)]
+    return [dict(raw) for raw in raw_specs], specs, jobs
+
+
+def plan_fingerprint(specs: list[RunSpec]) -> str:
+    """Stable identity of a whole plan: order-independent over spec keys.
+
+    Submitting the same set of specs — in any order, with duplicates
+    collapsed — is the *same* plan, which is what makes ``POST /plans``
+    idempotent: the fingerprint is the job id and the plan-level ETag.
+    """
+    return fingerprint("plan", sorted({spec_fingerprint(s) for s in specs}))
+
+
+def descriptor_label(raw: dict) -> str:
+    """Human-readable identity of one descriptor for job listings."""
+    workloads = "+".join(raw.get("workloads") or ["?"])
+    return f"{workloads}/{raw.get('system', 'baseline')}"

@@ -19,9 +19,11 @@ from .corpus import (
     DEFAULT_CORPUS,
     CorpusEntry,
     config_for,
+    known_systems,
     load_corpus,
     run_entry,
     stat_value,
+    system_config,
 )
 from .golden import (
     SramOracle,
@@ -49,6 +51,8 @@ __all__ = [
     "DEFAULT_CORPUS",
     "load_corpus",
     "config_for",
+    "known_systems",
+    "system_config",
     "run_entry",
     "stat_value",
 ]

@@ -27,6 +27,8 @@ from .mismatch import Mismatch
 __all__ = [
     "DEFAULT_CORPUS",
     "CorpusEntry",
+    "known_systems",
+    "system_config",
     "load_corpus",
     "config_for",
     "run_entry",
@@ -50,6 +52,26 @@ _SYSTEMS = {
         SystemConfig.single_core().with_refresh_mode(RefreshMode.ELASTIC).with_rop()
     ),
 }
+
+
+def known_systems() -> list[str]:
+    """The system-flavor names corpus entries and service plans may use."""
+    return sorted(_SYSTEMS)
+
+
+def system_config(name: str) -> SystemConfig:
+    """Materialize a named system flavor; raises ValueError when unknown.
+
+    Shared vocabulary between the validation corpus and the service
+    plane's plan-request codec (:mod:`repro.service.specs`) — one place
+    defines what ``"rop"`` or ``"elastic"`` means.
+    """
+    try:
+        return _SYSTEMS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; known: {sorted(_SYSTEMS)}"
+        ) from None
 
 
 @dataclass(frozen=True)

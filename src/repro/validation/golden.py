@@ -520,19 +520,36 @@ class ValidationSession:
                 i = bisect.bisect_right(rank_burst_ends, start) - 1
                 return i >= 0 and rank_burst_ends[i] >= start - quiesce_lag
 
-            starts = sorted(s for s, _, _ in ws)
-            for a, b in zip(starts, starts[1:]):
-                if b - a > gap_bound and not pinned(b):
-                    ms.append(
-                        Mismatch(
-                            check="refresh-schedule",
-                            site=site,
-                            expected=f"gap <= {gap_bound}",
-                            actual=b - a,
-                            cycle=a,
-                            detail="consecutive refresh starts",
+            # PER_BANK interleaves N independent per-bank REFpb grids
+            # (each bank refreshed every period × banks): one bank's
+            # legitimately pinned (demand-delayed) refresh leaves a hole
+            # between *other* banks' on-time starts at the rank level, so
+            # the adjacency check must follow each bank's own series —
+            # found by trace fuzzing, like the two PR-5 over-strict rules.
+            if mode is RefreshMode.PER_BANK:
+                by_start_bank: dict[int, list[int]] = {}
+                for s, _, bank in ws:
+                    by_start_bank.setdefault(bank, []).append(s)
+                nbanks = self.config.organization.banks
+                series = [
+                    (sorted(g), gap_bound * nbanks)
+                    for g in by_start_bank.values()
+                ]
+            else:
+                series = [(sorted(s for s, _, _ in ws), gap_bound)]
+            for starts, bound in series:
+                for a, b in zip(starts, starts[1:]):
+                    if b - a > bound and not pinned(b):
+                        ms.append(
+                            Mismatch(
+                                check="refresh-schedule",
+                                site=site,
+                                expected=f"gap <= {bound}",
+                                actual=b - a,
+                                cycle=a,
+                                detail="consecutive refresh starts",
+                            )
                         )
-                    )
         return cap_mismatches(ms, "refresh-schedule")
 
     def _check_lock_exclusion(self, windows) -> list[Mismatch]:
