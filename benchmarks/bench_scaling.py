@@ -14,9 +14,11 @@ A single-spec timing (trace pre-materialized, best of ``--reps``)
 isolates the simulator hot loop from fan-out effects; it is taken under
 **both** engines (``scalar`` reference interpreter and the array-native
 ``epoch`` kernel) and the ratio lands in the record as
-``scalar_vs_epoch``.  The headline ``single_spec_cycles_per_sec`` is the
-epoch engine's number — the perf-regression gate
-(``benchmarks/perf_gate.py``) tracks it.
+``scalar_vs_epoch``.  A 4-core mix spec (WL1 on the quad-core ROP
+system) is timed the same way and recorded as
+``multicore_spec_cycles_per_sec`` / ``scalar_vs_epoch_multicore``.  The
+perf-regression gate (``benchmarks/perf_gate.py``) tracks both
+cycles/s records.
 
 Usage::
 
@@ -106,18 +108,14 @@ def measure_pool_spinup(jobs: int) -> float:
     return time.perf_counter() - t0
 
 
-def single_spec(scale, reps: int, engine: str):
-    """Hot-loop timing: one ROP spec, trace pre-materialized, best of reps."""
-    from repro import SystemConfig
-    from repro.harness import RunSpec
-    from repro.harness.runner import clear_result_memo, run_spec
-    from repro.workloads import profile
+def _time_spec(spec, reps: int, engine: str):
+    """Best-of-``reps`` wall time for one spec under ``engine``.
 
-    cfg = SystemConfig.single_core().with_rop(
-        training_refreshes=scale.training_refreshes
-    )
-    spec = RunSpec.benchmark("lbm", cfg, scale)
-    profile("lbm").memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    Traces are pre-materialized by the caller; the result memo is
+    cleared between reps so every iteration simulates.
+    """
+    from repro.harness.runner import clear_result_memo, run_spec
+
     prev = os.environ.get("REPRO_ENGINE")
     os.environ["REPRO_ENGINE"] = engine
     try:
@@ -134,6 +132,82 @@ def single_spec(scale, reps: int, engine: str):
         else:
             os.environ["REPRO_ENGINE"] = prev
     return best, cycles
+
+
+def single_spec(scale, reps: int, engine: str):
+    """Hot-loop timing: one ROP spec, trace pre-materialized, best of reps."""
+    from repro import SystemConfig
+    from repro.harness import RunSpec
+    from repro.workloads import profile
+
+    cfg = SystemConfig.single_core().with_rop(
+        training_refreshes=scale.training_refreshes
+    )
+    spec = RunSpec.benchmark("lbm", cfg, scale)
+    profile("lbm").memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    return _time_spec(spec, reps, engine)
+
+
+def multicore_spec(scale, reps: int, engine: str, mix: str = "WL1"):
+    """Multicore hot-loop timing: a Fig. 10-style 4-core mix spec on the
+    quad-core ROP system, traces pre-materialized, best of reps."""
+    from repro import SystemConfig
+    from repro.harness import RunSpec
+    from repro.workloads import profile
+
+    cfg = SystemConfig.quad_core().with_rop(
+        training_refreshes=scale.training_refreshes
+    )
+    spec = RunSpec.mix(mix, cfg, scale)
+    for name in spec.workloads:
+        profile(name).memory_trace(spec.instructions, spec.trace_llc, seed=spec.seed)
+    return _time_spec(spec, reps, engine)
+
+
+def fig10_sweep(scale, tmp: str):
+    """The paper's headline sweep cold under both engines, jobs=1.
+
+    The sweep's input traces are pre-materialized outside the timed
+    region (matching :func:`single_spec` / :func:`multicore_spec`):
+    trace generation is engine-independent, so leaving it inside the
+    timers would only dilute the scalar/epoch comparison.  The result
+    cache stays cold — each engine simulates all specs from scratch.
+
+    Returns ``(t_scalar, t_epoch, fallbacks)`` where ``fallbacks`` is
+    the epoch pass's engine-fallback count; the rendered rows must be
+    bit-identical across engines.
+    """
+    import hashlib
+    import pickle
+
+    from repro.harness import (
+        fig10_11_specs,
+        fig10_11_weighted_speedup,
+        last_stats,
+        prewarm_traces,
+    )
+
+    walls, digests, fallbacks = {}, {}, 0
+    prev = os.environ.get("REPRO_ENGINE")
+    try:
+        for engine in ("scalar", "epoch"):
+            os.environ["REPRO_ENGINE"] = engine
+            reset_state(os.path.join(tmp, f"fig10-{engine}"))
+            prewarm_traces(fig10_11_specs(scale=scale))
+            t0 = time.perf_counter()
+            rows = fig10_11_weighted_speedup(scale=scale, jobs=1)
+            walls[engine] = time.perf_counter() - t0
+            digests[engine] = hashlib.sha256(pickle.dumps(rows)).hexdigest()
+            if engine == "epoch":
+                fallbacks = last_stats().engine_fallbacks
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = prev
+    if digests["scalar"] != digests["epoch"]:
+        raise AssertionError("fig10 sweep rows diverged between engines")
+    return walls["scalar"], walls["epoch"], fallbacks
 
 
 def _scaling_pass(label, specs, jobs_levels, tmp, keep_digests=True):
@@ -199,6 +273,18 @@ def main() -> int:
               f"({single_cycles / t_epoch / 1e3:,.0f}k cycles/s, "
               f"scalar/epoch x{t_scalar / t_epoch:.2f}, lbm+ROP)")
 
+        reset_state(os.path.join(tmp, "multicore"))
+        t_mc_scalar, _ = multicore_spec(scale, args.reps, "scalar")
+        t_mc_epoch, mc_cycles = multicore_spec(scale, args.reps, "epoch")
+        print(f"4-core mix  : scalar {t_mc_scalar:6.3f}s, epoch {t_mc_epoch:6.3f}s "
+              f"({mc_cycles / t_mc_epoch / 1e3:,.0f}k cycles/s, "
+              f"scalar/epoch x{t_mc_scalar / t_mc_epoch:.2f}, WL1 quad+ROP)")
+
+        t_f10_scalar, t_f10_epoch, f10_fallbacks = fig10_sweep(scale, tmp)
+        print(f"fig10 sweep : scalar {t_f10_scalar:6.2f}s, epoch {t_f10_epoch:6.2f}s "
+              f"(x{t_f10_scalar / t_f10_epoch:.2f} cold jobs=1, traces prewarmed, "
+              f"{f10_fallbacks} fallbacks, rows bit-identical)")
+
     t_seq, t_jobs = smoke["t_seq"], smoke["t_jobs"]
     record = {
         "bench": "runner_scaling",
@@ -230,6 +316,17 @@ def main() -> int:
         "single_spec_cycles_per_sec": round(single_cycles / t_epoch),
         "scalar_single_spec_s": round(t_scalar, 4),
         "scalar_vs_epoch": round(t_scalar / t_epoch, 2),
+        "multicore_spec_s": round(t_mc_epoch, 4),
+        "multicore_spec_cycles_per_sec": round(mc_cycles / t_mc_epoch),
+        "scalar_multicore_spec_s": round(t_mc_scalar, 4),
+        "scalar_vs_epoch_multicore": round(t_mc_scalar / t_mc_epoch, 2),
+        "fig10_sweep": {
+            "scalar_s": round(t_f10_scalar, 2),
+            "epoch_s": round(t_f10_epoch, 2),
+            "speedup": round(t_f10_scalar / t_f10_epoch, 2),
+            "traces_prematerialized": True,
+            "engine_fallbacks": f10_fallbacks,
+        },
     }
     out = Path(args.out)
     history = []

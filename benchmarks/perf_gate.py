@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the epoch engine's single-spec throughput.
+"""Perf-regression gate for the epoch engine's simulation throughput.
 
 Reads the committed ``BENCH_runner.json``, finds the most recent
 ``runner_scaling`` record whose headline single-spec number was taken
-under the **epoch** engine, re-measures the same metric on this machine
-(lbm+ROP smoke spec, trace pre-materialized, best of ``--reps``) and
-fails if the fresh ``single_spec_cycles_per_sec`` fell more than
-``--tolerance`` (default 20 %) below the committed value.
+under the **epoch** engine, re-measures the same metrics on this machine
+(lbm+ROP smoke spec, plus the WL1 quad-core+ROP mix spec when the
+record carries ``multicore_spec_cycles_per_sec``; traces
+pre-materialized, best of ``--reps``) and fails if either fresh
+cycles/s number fell more than ``--tolerance`` (default 20 %) below the
+committed value.
 
 The gate applies to the epoch engine only: the scalar interpreter is the
 bit-exactness reference, not a performance target, and older records
@@ -68,27 +70,37 @@ def main() -> int:
         print(f"perf-gate: no committed epoch record in {args.bench}; "
               f"{'failing (--strict)' if args.strict else 'nothing to gate'}")
         return 2 if args.strict else 0
-    committed = record["single_spec_cycles_per_sec"]
-
     import os
     import tempfile
 
-    from bench_scaling import reset_state, single_spec
+    from bench_scaling import multicore_spec, reset_state, single_spec
 
     from repro.harness import RunScale
 
     scale = RunScale.named(args.scale)
+    gates = [("single-spec", record["single_spec_cycles_per_sec"], single_spec)]
+    if record.get("multicore_spec_cycles_per_sec"):
+        gates.append(
+            (
+                "multicore-mix",
+                record["multicore_spec_cycles_per_sec"],
+                multicore_spec,
+            )
+        )
+    failed = False
     with tempfile.TemporaryDirectory(prefix="repro-perf-gate-") as tmp:
-        reset_state(os.path.join(tmp, "gate"))
-        t_best, cycles = single_spec(scale, args.reps, "epoch")
-    fresh = cycles / t_best
-    floor = committed * (1.0 - args.tolerance)
-    verdict = "PASS" if fresh >= floor else "FAIL"
-    print(f"perf-gate [{verdict}] epoch single-spec: "
-          f"{fresh / 1e3:,.0f}k cycles/s fresh vs {committed / 1e3:,.0f}k "
-          f"committed (floor {floor / 1e3:,.0f}k at "
-          f"-{args.tolerance:.0%} tolerance, best of {args.reps})")
-    return 0 if fresh >= floor else 1
+        for name, committed, timer in gates:
+            reset_state(os.path.join(tmp, name))
+            t_best, cycles = timer(scale, args.reps, "epoch")
+            fresh = cycles / t_best
+            floor = committed * (1.0 - args.tolerance)
+            verdict = "PASS" if fresh >= floor else "FAIL"
+            failed |= fresh < floor
+            print(f"perf-gate [{verdict}] epoch {name}: "
+                  f"{fresh / 1e3:,.0f}k cycles/s fresh vs {committed / 1e3:,.0f}k "
+                  f"committed (floor {floor / 1e3:,.0f}k at "
+                  f"-{args.tolerance:.0%} tolerance, best of {args.reps})")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from .harness import (
     fig10_11_weighted_speedup,
     fig12_13_14_llc_sensitivity,
     last_failures,
+    last_fallbacks,
     last_stats,
     reporting,
     set_cache_enabled,
@@ -89,6 +90,9 @@ def _print_runner_stats(args=None) -> None:
         from .harness.runner import trace_dir
 
         print(f"telemetry: per-run Perfetto traces under {trace_dir()}")
+    fallback_note = reporting.render_engine_fallbacks(last_fallbacks())
+    if fallback_note:
+        print(fallback_note, file=sys.stderr)
     failures = last_failures()
     if failures:
         print()
@@ -272,21 +276,38 @@ def _cmd_profile(args) -> int:
 
     scale = _scale(args)
     _runner_opts(args)
-    cfg = SystemConfig.single_core()
-    if not args.baseline:
-        cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
-    spec = RunSpec.benchmark(args.benchmark, cfg, scale)
+    if bool(args.mix) == bool(args.benchmark):
+        print("repro profile: name a benchmark or pass --mix (not both)",
+              file=sys.stderr)
+        return 2
+    if args.mix:
+        if args.mix not in WORKLOAD_MIXES:
+            print(f"repro profile: unknown mix {args.mix!r}; known: "
+                  + " ".join(WORKLOAD_MIXES), file=sys.stderr)
+            return 2
+        cfg = SystemConfig.quad_core()
+        if not args.baseline:
+            cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
+        spec = RunSpec.mix(args.mix, cfg, scale)
+        label = f"{args.mix} ({'+'.join(spec.workloads)})"
+    else:
+        cfg = SystemConfig.single_core()
+        if not args.baseline:
+            cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
+        spec = RunSpec.benchmark(args.benchmark, cfg, scale)
+        label = args.benchmark
     if not args.include_tracegen:
-        # materialize the trace first: the steady-state hot path being
+        # materialize the traces first: the steady-state hot path being
         # tuned is the simulation, not one-time trace generation
-        profile(args.benchmark).memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+        for name in spec.workloads:
+            profile(name).memory_trace(spec.instructions, spec.trace_llc, seed=spec.seed)
     prof = cProfile.Profile()
     prof.enable()
     result = run_spec(spec)
     prof.disable()
     from .kernel import resolve_engine
 
-    print(f"{args.benchmark} [{resolve_engine()} engine]: IPC {result.ipc:.4f}, "
+    print(f"{label} [{resolve_engine()} engine]: IPC {result.ipc:.4f}, "
           f"{result.stats.demand_accesses} demand accesses, "
           f"{result.end_cycle} controller cycles")
     stats = pstats.Stats(prof)
@@ -587,7 +608,11 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="cProfile one benchmark's simulation and print the hot spots",
     )
-    sp.add_argument("benchmark")
+    sp.add_argument("benchmark", nargs="?", default=None)
+    sp.add_argument("--mix", default=None, metavar="MIX",
+                    help="profile a 4-core workload mix (e.g. WL1) on the "
+                         "quad-core system instead of a single benchmark — "
+                         "exercises the multicore hot loop")
     sp.add_argument("--top", type=int, default=25, metavar="N",
                     help="rows of the pstats report to print (default 25)")
     sp.add_argument("--sort", default="tottime",

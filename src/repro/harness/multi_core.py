@@ -135,6 +135,28 @@ def three_systems(
     return systems
 
 
+def fig10_11_specs(
+    mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
+    scale: RunScale = RunScale(),
+) -> list[RunSpec]:
+    """Every spec the Figs. 10/11 sweep executes (mixes + alone runs).
+
+    Declared against a throwaway plan with the same grid logic as
+    :func:`fig10_11_weighted_speedup`, so benchmarks can enumerate the
+    sweep's inputs — e.g. to pre-materialize its traces outside a timed
+    region — without duplicating the mix/system construction.
+    """
+    plan = RunPlan()
+    systems = three_systems(training_refreshes=scale.training_refreshes)
+    specs: list[RunSpec] = []
+    for mix in mixes:
+        for name, cfg in systems.items():
+            point = _declare_mix(plan, mix, cfg, scale, system=name)
+            specs.append(point.spec)
+            specs.extend(point.alone_specs)
+    return specs
+
+
 def fig10_11_weighted_speedup(
     mixes: tuple[str, ...] = tuple(WORKLOAD_MIXES),
     scale: RunScale = RunScale(),

@@ -19,6 +19,7 @@ __all__ = [
     "render_llc_sensitivity",
     "render_runner_stats",
     "render_failures",
+    "render_engine_fallbacks",
     "render_metrics",
 ]
 
@@ -270,6 +271,31 @@ def render_failures(failures) -> str:
     return (
         f"{len(failures)} spec(s) failed (completed results are cached; "
         f"re-run the same command to retry only these):\n{table}"
+    )
+
+
+def render_engine_fallbacks(fallbacks) -> str:
+    """One-line warning when specs silently ran on the scalar engine.
+
+    ``fallbacks`` is an iterable of
+    :class:`~repro.harness.runner.EngineFallback`
+    (``PlanResults.engine_fallbacks`` or ``last_fallbacks()``).  A sweep
+    whose specs fell back runs at scalar speed without failing anything,
+    which is easy to miss — this surfaces the count and the top decline
+    reasons.  Returns ``""`` when every spec rode the requested engine.
+    """
+    fallbacks = list(fallbacks)
+    if not fallbacks:
+        return ""
+    by_reason: dict[str, int] = {}
+    for fb in fallbacks:
+        reason = fb.reason if fb.kind == "declined" else f"fault: {fb.exc_type}"
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+    top = sorted(by_reason.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    detail = "; ".join(f"{n}x {reason}" for reason, n in top)
+    return (
+        f"warning: {len(fallbacks)} spec(s) ran on the scalar engine "
+        f"({detail})"
     )
 
 

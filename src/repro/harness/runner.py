@@ -99,6 +99,7 @@ __all__ = [
     "core_llc_share",
     "last_stats",
     "last_failures",
+    "last_fallbacks",
     "session_stats",
     "set_execution_policy",
     "clear_result_memo",
@@ -719,6 +720,7 @@ _RESULT_MEMO: dict[str, MulticoreResult] = {}
 _LAST_STATS = RunnerStats()
 _SESSION_STATS = RunnerStats()
 _LAST_FAILURES: tuple[SpecFailure, ...] = ()
+_LAST_FALLBACKS: tuple[EngineFallback, ...] = ()
 
 
 def clear_result_memo() -> None:
@@ -734,6 +736,11 @@ def last_stats() -> RunnerStats:
 def last_failures() -> tuple[SpecFailure, ...]:
     """Failure report of the most recent ``execute_plan`` call."""
     return _LAST_FAILURES
+
+
+def last_fallbacks() -> tuple[EngineFallback, ...]:
+    """Engine-fallback records of the most recent ``execute_plan`` call."""
+    return _LAST_FALLBACKS
 
 
 def session_stats() -> RunnerStats:
@@ -1222,7 +1229,7 @@ class _PlanRunner:
         return _Guard()
 
 
-def _prewarm_traces(specs: Iterable[RunSpec]) -> None:
+def prewarm_traces(specs: Iterable[RunSpec]) -> None:
     """Materialize every unique memory trace once, before fanning out.
 
     ``SpecProfile.memory_trace`` persists traces through the trace plane
@@ -1271,7 +1278,7 @@ def execute_plan(
     artifact cache, so re-running the same plan resumes where it
     stopped — only missing specs simulate.
     """
-    global _LAST_STATS, _LAST_FAILURES
+    global _LAST_STATS, _LAST_FAILURES, _LAST_FALLBACKS
     t0 = time.perf_counter()
     spec_list = list(specs.specs if isinstance(specs, RunPlan) else specs)
     jobs = resolve_jobs(jobs)
@@ -1322,7 +1329,7 @@ def execute_plan(
             # (a one-miss plan skips the pool entirely: run_sequential is
             # the whole fan-out, and pool spin-up would dominate it)
             t_warm = time.perf_counter()
-            _prewarm_traces(spec for _, spec in todo)
+            prewarm_traces(spec for _, spec in todo)
             stats.prewarm_s = time.perf_counter() - t_warm
             runner.run_parallel()
         else:
@@ -1371,6 +1378,7 @@ def execute_plan(
     _LAST_STATS = stats
     _SESSION_STATS.absorb(stats)
     _LAST_FAILURES = failures
+    _LAST_FALLBACKS = engine_fallbacks
 
     if interrupted:
         print(

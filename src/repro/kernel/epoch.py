@@ -96,13 +96,12 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> str | Non
     org = memory.config.organization
     if audited:
         return "audit wraps controller.submit, which the kernel bypasses"
-    if org.channels != 1 or org.ranks != 1:
-        return (
-            f"flat kernel state covers one channel x one rank, "
-            f"got {org.channels}x{org.ranks}"
-        )
-    if len(cores) != 1:
-        return f"single-core kernel, got {len(cores)} cores"
+    if org.channels != 1 or org.ranks != 1 or len(cores) != 1:
+        # every other topology rides the generalized kernel, which keeps
+        # the same bit-identity contract over per-(channel, rank) state
+        from .epoch_multi import run_epoch_multi
+
+        return run_epoch_multi(memory, cores, max_cycles)
 
     # ------------------------------------------------------------- localize
     events = memory.events

@@ -51,6 +51,16 @@ _SYSTEMS = {
     "rop_elastic": lambda: (
         SystemConfig.single_core().with_refresh_mode(RefreshMode.ELASTIC).with_rop()
     ),
+    # the paper's 4-core systems (Figs. 10-14): Baseline, Baseline-RP
+    # (rank-partitioned address map), ROP, and a per-bank-refresh variant
+    "quad_baseline": lambda: SystemConfig.quad_core(rank_partitioned=False),
+    "quad_baseline_rp": lambda: SystemConfig.quad_core(rank_partitioned=True),
+    "quad_rop": lambda: SystemConfig.quad_core(rank_partitioned=True).with_rop(),
+    "quad_per_bank": lambda: (
+        SystemConfig.quad_core(rank_partitioned=True).with_refresh_mode(
+            RefreshMode.PER_BANK
+        )
+    ),
 }
 
 

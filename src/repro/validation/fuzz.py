@@ -195,15 +195,15 @@ def fuzz_configs(draw, *, rop: bool | None = None) -> SystemConfig:
 
 @st.composite
 def config_and_traces(draw, *, rop: bool | None = None):
-    """A config plus one trace per core (1 core, or 2 on a 2-rank system)."""
+    """A config plus one trace per core (1, 2 or 4 cores on matching ranks)."""
     cfg = draw(fuzz_configs(rop=rop))
-    n_cores = draw(st.sampled_from([1, 1, 2]))
-    if n_cores == 2:
+    n_cores = draw(st.sampled_from([1, 1, 2, 4]))
+    if n_cores > 1:
         from dataclasses import replace
 
         cfg = replace(
             cfg,
-            organization=replace(cfg.organization, ranks=2),
+            organization=replace(cfg.organization, ranks=n_cores),
             address_map=AddressMapScheme.RANK_PARTITIONED,
         )
     traces = [draw(memory_traces()) for _ in range(n_cores)]

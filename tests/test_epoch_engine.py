@@ -29,9 +29,10 @@ from repro import SystemConfig
 from repro.cpu.multicore import run_cores
 from repro.kernel import ENGINES, resolve_engine
 from repro.telemetry import TraceSink
+from repro.harness.runner import core_llc_share
 from repro.validation.corpus import _SYSTEMS
 from repro.validation.fuzz import config_and_traces
-from repro.workloads import profile
+from repro.workloads import mix_profiles, profile
 
 INSTR = 60_000
 
@@ -43,6 +44,14 @@ def _digest(result) -> str:
 def _run(cfg, engine: str, sink=None):
     trace = profile("lbm").memory_trace(INSTR, cfg.llc, seed=1)
     return run_cores([trace], cfg, engine=engine, sink=sink)
+
+
+def _run_mix(cfg, mix: str, engine: str, sink=None):
+    share = core_llc_share(cfg.llc.size_bytes)
+    traces = [
+        p.memory_trace(INSTR, share, seed=1) for p in mix_profiles(mix)
+    ]
+    return run_cores(traces, cfg, engine=engine, sink=sink)
 
 
 class TestEngineResolution:
@@ -66,6 +75,29 @@ class TestCorpusDigestIdentity:
     def test_scalar_and_epoch_agree(self, system):
         cfg = _SYSTEMS[system]()
         assert _digest(_run(cfg, "scalar")) == _digest(_run(cfg, "epoch"))
+
+
+class TestMulticoreCorpusDigestIdentity:
+    """The generalized kernel on the paper's 4-core systems (ISSUE 9)."""
+
+    @pytest.mark.parametrize(
+        "system", sorted(s for s in _SYSTEMS if s.startswith("quad_"))
+    )
+    def test_scalar_and_epoch_agree_on_mixes(self, system):
+        cfg = _SYSTEMS[system]()
+        assert _digest(_run_mix(cfg, "WL1", "scalar")) == _digest(
+            _run_mix(cfg, "WL1", "epoch")
+        )
+
+    def test_mix_runs_produce_no_fallbacks(self):
+        cfg = _SYSTEMS["quad_rop"]()
+        declined: list[str] = []
+        share = core_llc_share(cfg.llc.size_bytes)
+        traces = [
+            p.memory_trace(INSTR, share, seed=1) for p in mix_profiles("WL2")
+        ]
+        run_cores(traces, cfg, engine="epoch", fallback_reasons=declined)
+        assert declined == []
 
 
 class TestObserverInvariance:
@@ -99,6 +131,30 @@ class TestFanOutInvariance:
             clear_result_memo()
             results = execute_plan(specs, jobs=jobs)
             digests[jobs] = {s.key: _digest(results[s]) for s in specs}
+        assert digests[1] == digests[2]
+
+    def test_jobs1_equals_jobs2_for_mixes_under_epoch(self, tmp_path, monkeypatch):
+        from repro.harness import RunScale, RunSpec, execute_plan
+        from repro.harness.runner import clear_result_memo
+
+        monkeypatch.setenv("REPRO_ENGINE", "epoch")
+        scale = RunScale(instructions=INSTR, seed=1, training_refreshes=3)
+        base = SystemConfig.quad_core()
+        rop = base.with_rop(training_refreshes=scale.training_refreshes)
+        specs = [
+            RunSpec.mix(mix, cfg, scale)
+            for mix in ("WL1", "WL2")
+            for cfg in (base, rop)
+        ]
+        digests = {}
+        for jobs in (1, 2):
+            monkeypatch.setenv(
+                "REPRO_CACHE_DIR", str(tmp_path / f"jobs{jobs}")
+            )
+            clear_result_memo()
+            results = execute_plan(specs, jobs=jobs)
+            digests[jobs] = {s.key: _digest(results[s]) for s in specs}
+            assert len(results.engine_fallbacks) == 0
         assert digests[1] == digests[2]
 
 

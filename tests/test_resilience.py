@@ -116,20 +116,31 @@ class TestEngineFaultFallback:
         assert len(results.engine_fallbacks) == 1
         assert results.engine_fallbacks[0].kind == "fault"
 
-    def test_declined_topology_recorded_not_counted(self, monkeypatch):
-        # multiprogrammed mixes exceed the flat kernel's 1-core coverage:
-        # a routine decline, recorded for observability but never counted
-        # as a fault or quarantined
+    def test_multicore_mix_rides_the_kernel(self, monkeypatch):
+        # multiprogrammed mixes used to decline on topology; the
+        # generalized kernel now covers them — zero fallback records
         spec = RunSpec.mix("WL1", SystemConfig(), TINY)
         monkeypatch.setenv("REPRO_ENGINE", "epoch")
         results = execute_plan([spec], jobs=1, policy=policy())
         assert results.ok(spec)
         assert last_stats().engine_fallbacks == 0
         assert last_stats().quarantined == 0
+        assert len(results.engine_fallbacks) == 0
+
+    def test_declined_audit_recorded_not_counted(self, monkeypatch):
+        # audit wraps controller.submit, which the kernel bypasses: a
+        # routine decline, recorded for observability but never counted
+        # as a fault or quarantined
+        spec = RunSpec.benchmark("lbm", SystemConfig.single_core(), TINY)
+        monkeypatch.setenv("REPRO_ENGINE", "epoch")
+        results = execute_plan([spec], jobs=1, policy=policy(audit=True))
+        assert results.ok(spec)
+        assert last_stats().engine_fallbacks == 0
+        assert last_stats().quarantined == 0
         assert len(results.engine_fallbacks) == 1
         fb = results.engine_fallbacks[0]
         assert fb.kind == "declined"
-        assert "core" in fb.reason
+        assert "audit" in fb.reason
         assert fb.quarantine == ""
 
 
