@@ -2,21 +2,26 @@
 
 The paper compares ROP only against auto-refresh and the idealized
 memory, arguing other schemes' gains "can be extrapolated". This bench
-makes the comparison explicit: JEDEC fine-grained refresh (2x/4x),
-Elastic-Refresh-style postponement, Refresh-Pausing-style interruptible
-refresh, per-bank refresh (the paper's future work), and ROP — all on the
-same workloads.
+makes the comparison explicit, in two layers:
 
-Expected shape: ROP and Pausing recover most of the refresh loss for
-predictable streams; FGR is not a one-size-fits-all win (more total lock
-time); per-bank refresh helps by localizing the freeze.
+* the original single-density matrix — JEDEC fine-grained refresh
+  (2x/4x), Elastic-Refresh-style postponement, Refresh-Pausing-style
+  interruptible refresh, per-bank refresh and ROP on the same workloads;
+* the **refresh-policy zoo sweep** — every registered policy (including
+  DARP, SARP, RAIDR and the ROP compositions) × device density
+  (4–32 Gb, tRFC 260–780 ns), reporting IPC and energy normalized to
+  auto-refresh at the same density. As density grows the refresh tax
+  grows, and the zoo shows which schemes keep paying it.
+
+Run as a script (``python benchmarks/bench_refresh_schemes.py``) to
+append a ``zoo_sweep`` record to ``BENCH_runner.json``.
 """
 
 from conftest import run_once
 
 from repro import RefreshMode, SystemConfig
 from repro.cpu import run_cores
-from repro.harness import reporting
+from repro.harness import reporting, render_zoo, zoo_matrix, zoo_sweep
 from repro.workloads import profile
 
 MODES = (
@@ -26,8 +31,25 @@ MODES = (
     RefreshMode.ELASTIC,
     RefreshMode.PAUSING,
     RefreshMode.PER_BANK,
+    RefreshMode.DARP,
+    RefreshMode.SARP,
+    RefreshMode.RAIDR,
     RefreshMode.NONE,
 )
+
+#: zoo slice exercised under pytest-benchmark: the policies the ISSUE's
+#: figure needs (both ROP compositions) at the density extremes
+ZOO_BENCH_POLICIES = (
+    "auto_1x",
+    "per_bank",
+    "darp",
+    "sarp",
+    "raidr",
+    "rop",
+    "rop_per_bank",
+    "rop_darp",
+)
+ZOO_BENCH_DENSITIES = (8, 32)
 
 
 def run_matrix(scale, benches):
@@ -62,3 +84,90 @@ def test_refresh_scheme_comparison(benchmark, scale, bench_benchmarks):
         ipc = r["ipc"]
         assert ipc["none"] >= ipc["auto_1x"] * 0.999  # ideal is the bound
         assert ipc["rop"] >= ipc["auto_1x"] * 0.985  # ROP never collapses
+
+
+def test_zoo_policy_density_sweep(benchmark, scale, bench_benchmarks):
+    rows = run_once(
+        benchmark,
+        zoo_sweep,
+        bench_benchmarks,
+        scale,
+        densities=ZOO_BENCH_DENSITIES,
+        policies=ZOO_BENCH_POLICIES,
+    )
+    print()
+    print(render_zoo(rows))
+    cells = {(m["policy"], m["density_gbit"]): m for m in zoo_matrix(rows)}
+    for gbit in ZOO_BENCH_DENSITIES:
+        # ROP composes: it never loses IPC against its own refresh scheme
+        assert cells[("rop", gbit)]["norm_ipc"] >= 0.995
+        assert cells[("rop_darp", gbit)]["norm_ipc"] >= (
+            cells[("darp", gbit)]["norm_ipc"] * 0.995
+        )
+    # the refresh energy tax grows with density (the zoo's reason to exist)
+    assert (
+        cells[("auto_1x", 32)]["refresh_fraction"]
+        > cells[("auto_1x", 8)]["refresh_fraction"]
+    )
+
+
+def main() -> int:
+    """Full zoo grid; appends a ``zoo_sweep`` record to BENCH_runner.json."""
+    import argparse
+    import json
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.harness import RunScale, ZOO_DENSITIES
+
+    ap = argparse.ArgumentParser(description=main.__doc__)
+    ap.add_argument("--scale", default="smoke", choices=("smoke", "default", "paper"))
+    ap.add_argument("--benchmarks", nargs="+",
+                    default=["lbm", "libquantum", "bzip2", "gobmk"])
+    ap.add_argument("--jobs", type=int, default=None)
+    ap.add_argument("--out", default="BENCH_runner.json",
+                    help="timing-record file (appended to)")
+    args = ap.parse_args()
+
+    scale = RunScale.named(args.scale)
+    t0 = time.perf_counter()
+    rows = zoo_sweep(tuple(args.benchmarks), scale, jobs=args.jobs)
+    wall = time.perf_counter() - t0
+    print(render_zoo(rows))
+    record = {
+        "bench": "zoo_sweep",
+        "scale": args.scale,
+        "cpus": os.cpu_count(),
+        "benchmarks": args.benchmarks,
+        "densities_gbit": list(ZOO_DENSITIES),
+        "points": len(rows),
+        "wall_s": round(wall, 2),
+        "matrix": [
+            {
+                "policy": m["policy"],
+                "density_gbit": m["density_gbit"],
+                "norm_ipc": round(m["norm_ipc"], 4),
+                "norm_energy": round(m["norm_energy"], 4),
+                "refresh_fraction": round(m["refresh_fraction"], 4),
+            }
+            for m in sorted(
+                zoo_matrix(rows), key=lambda m: (m["density_gbit"], m["policy"])
+            )
+        ],
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded -> {out} ({len(rows)} points, {wall:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -148,6 +148,19 @@ def single_spec(scale, reps: int, engine: str):
     return _time_spec(spec, reps, engine)
 
 
+def auto_spec(scale, reps: int, engine: str):
+    """Plain AUTO_1X baseline timing (no ROP): the refresh-policy
+    dispatch hot path every other configuration builds on."""
+    from repro import SystemConfig
+    from repro.harness import RunSpec
+    from repro.workloads import profile
+
+    cfg = SystemConfig.single_core()
+    spec = RunSpec.benchmark("lbm", cfg, scale)
+    profile("lbm").memory_trace(scale.instructions, cfg.llc, seed=scale.seed)
+    return _time_spec(spec, reps, engine)
+
+
 def multicore_spec(scale, reps: int, engine: str, mix: str = "WL1"):
     """Multicore hot-loop timing: a Fig. 10-style 4-core mix spec on the
     quad-core ROP system, traces pre-materialized, best of reps."""
@@ -273,6 +286,12 @@ def main() -> int:
               f"({single_cycles / t_epoch / 1e3:,.0f}k cycles/s, "
               f"scalar/epoch x{t_scalar / t_epoch:.2f}, lbm+ROP)")
 
+        reset_state(os.path.join(tmp, "auto"))
+        t_auto, auto_cycles = auto_spec(scale, args.reps, "epoch")
+        print(f"auto spec   : epoch {t_auto:6.3f}s "
+              f"({auto_cycles / t_auto / 1e3:,.0f}k cycles/s, lbm AUTO_1X "
+              f"baseline — the refresh-policy dispatch path)")
+
         reset_state(os.path.join(tmp, "multicore"))
         t_mc_scalar, _ = multicore_spec(scale, args.reps, "scalar")
         t_mc_epoch, mc_cycles = multicore_spec(scale, args.reps, "epoch")
@@ -316,6 +335,8 @@ def main() -> int:
         "single_spec_cycles_per_sec": round(single_cycles / t_epoch),
         "scalar_single_spec_s": round(t_scalar, 4),
         "scalar_vs_epoch": round(t_scalar / t_epoch, 2),
+        "auto_spec_s": round(t_auto, 4),
+        "auto_spec_cycles_per_sec": round(auto_cycles / t_auto),
         "multicore_spec_s": round(t_mc_epoch, 4),
         "multicore_spec_cycles_per_sec": round(mc_cycles / t_mc_epoch),
         "scalar_multicore_spec_s": round(t_mc_scalar, 4),

@@ -10,6 +10,12 @@ pre-materialized, best of ``--reps``) and fails if either fresh
 cycles/s number fell more than ``--tolerance`` (default 20 %) below the
 committed value.
 
+When the record carries ``auto_spec_cycles_per_sec`` (the plain
+AUTO_1X baseline, no ROP), that metric is additionally gated at the
+tighter ``--auto-tolerance`` (default 5 %): the refresh-policy registry
+sits on every simulated cycle's dispatch path, so a regression there is
+held to a stricter budget than end-to-end plan noise.
+
 The gate applies to the epoch engine only: the scalar interpreter is the
 bit-exactness reference, not a performance target, and older records
 that predate the ``engine`` field are ignored.
@@ -56,6 +62,9 @@ def main() -> int:
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional drop below the committed "
                          "cycles/s before failing (default 0.20)")
+    ap.add_argument("--auto-tolerance", type=float, default=0.05,
+                    help="tighter budget for the AUTO_1X baseline spec "
+                         "(refresh-policy dispatch path; default 0.05)")
     ap.add_argument("--reps", type=int, default=5,
                     help="timing repetitions, best-of (default 5)")
     ap.add_argument("--scale", default="smoke",
@@ -73,33 +82,49 @@ def main() -> int:
     import os
     import tempfile
 
-    from bench_scaling import multicore_spec, reset_state, single_spec
+    from bench_scaling import auto_spec, multicore_spec, reset_state, single_spec
 
     from repro.harness import RunScale
 
     scale = RunScale.named(args.scale)
-    gates = [("single-spec", record["single_spec_cycles_per_sec"], single_spec)]
+    gates = [
+        ("single-spec", record["single_spec_cycles_per_sec"], single_spec,
+         args.tolerance)
+    ]
     if record.get("multicore_spec_cycles_per_sec"):
         gates.append(
             (
                 "multicore-mix",
                 record["multicore_spec_cycles_per_sec"],
                 multicore_spec,
+                args.tolerance,
             )
         )
+    if record.get("auto_spec_cycles_per_sec"):
+        gates.append(
+            (
+                "auto-baseline",
+                record["auto_spec_cycles_per_sec"],
+                auto_spec,
+                args.auto_tolerance,
+            )
+        )
+    else:
+        print("perf-gate: committed record predates auto_spec_cycles_per_sec; "
+              "skipping the AUTO_1X dispatch-path gate")
     failed = False
     with tempfile.TemporaryDirectory(prefix="repro-perf-gate-") as tmp:
-        for name, committed, timer in gates:
+        for name, committed, timer, tolerance in gates:
             reset_state(os.path.join(tmp, name))
             t_best, cycles = timer(scale, args.reps, "epoch")
             fresh = cycles / t_best
-            floor = committed * (1.0 - args.tolerance)
+            floor = committed * (1.0 - tolerance)
             verdict = "PASS" if fresh >= floor else "FAIL"
             failed |= fresh < floor
             print(f"perf-gate [{verdict}] epoch {name}: "
                   f"{fresh / 1e3:,.0f}k cycles/s fresh vs {committed / 1e3:,.0f}k "
                   f"committed (floor {floor / 1e3:,.0f}k at "
-                  f"-{args.tolerance:.0%} tolerance, best of {args.reps})")
+                  f"-{tolerance:.0%} tolerance, best of {args.reps})")
     return 1 if failed else 0
 
 

@@ -24,10 +24,14 @@ from .cpu import run_cores
 from .energy import system_energy
 from .harness import (
     DEFAULT_BENCHMARKS,
+    ZOO_DENSITIES,
+    ZOO_POLICIES,
     ConfigError,
     ExecutionPolicy,
     PlanExecutionError,
     RunScale,
+    render_zoo,
+    zoo_sweep,
     fig1_refresh_overheads,
     fig2_to_4_and_table1,
     fig7_8_9_rop_comparison,
@@ -223,6 +227,21 @@ def _cmd_schemes(args) -> int:
         body.append([name] + [f"{ipcs[h] / base:.4f}" for h in headers[1:]])
     print("IPC normalized to auto-refresh:")
     print(reporting.format_table(headers, body))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Refresh-policy zoo: policy × device-density IPC/energy matrix."""
+    scale = _scale(args)
+    jobs = _runner_opts(args)
+    policies = tuple(args.refresh) if args.refresh else None
+    densities = tuple(args.density) if args.density else ZOO_DENSITIES
+    benches = tuple(args.benchmarks) if args.benchmarks else ("lbm", "libquantum")
+    rows = zoo_sweep(
+        benches, scale, densities=densities, policies=policies, jobs=jobs
+    )
+    print(render_zoo(rows))
+    _print_runner_stats(args)
     return 0
 
 
@@ -580,6 +599,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("benchmarks", nargs="+")
     common(sp)
     sp.set_defaults(func=_cmd_schemes)
+
+    sp = sub.add_parser(
+        "sweep",
+        help="refresh-policy zoo: every policy (DARP/SARP/RAIDR/ROP "
+             "compositions) x device density (4-32 Gb), IPC + energy "
+             "normalized to auto-refresh",
+    )
+    sp.add_argument("benchmarks", nargs="*",
+                    help="benchmarks to sweep (default: lbm libquantum)")
+    sp.add_argument("--refresh", action="append", default=None,
+                    metavar="POLICY", choices=sorted(ZOO_POLICIES),
+                    help="restrict to a policy (repeatable; auto_1x is "
+                         "always included as the baseline)")
+    sp.add_argument("--density", action="append", type=int, default=None,
+                    metavar="GBIT", choices=sorted(ZOO_DENSITIES),
+                    help="restrict to a device density in Gbit "
+                         "(repeatable; default: all of 4 8 16 32)")
+    common(sp)
+    sp.set_defaults(func=_cmd_sweep)
 
     sp = sub.add_parser(
         "trace",

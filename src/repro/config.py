@@ -77,6 +77,19 @@ class RefreshMode(enum.Enum):
     #: segments whenever demand is pending — an additional comparison
     #: baseline beyond the paper's two reference memories
     PAUSING = "pausing"
+    #: DARP-style dynamic refresh scheduling (Chang et al., HPCA'14):
+    #: per-bank REFpb commands issued out of order into *idle* banks,
+    #: postponed (up to ``postpone_max`` per bank) while a bank has
+    #: demand, and piggybacked onto write-drain periods
+    DARP = "darp"
+    #: SARP-style subarray-level parallelism (Chang et al., HPCA'14):
+    #: per-bank refresh where only the subarray under refresh blocks —
+    #: accesses to the bank's other subarrays keep flowing
+    SARP = "sarp"
+    #: RAIDR-style retention-aware binning (Liu et al., ISCA'12): rows
+    #: are grouped into 64/128/256 ms retention bins and the all-bank
+    #: tREFI grid only fires the ticks whose row group is due
+    RAIDR = "raidr"
 
 
 class WindowBase(enum.Enum):
@@ -136,6 +149,17 @@ class RefreshConfig:
     postpone_max: int = 8
     #: segments a PAUSING-mode refresh can be split into (pause points)
     pause_segments: int = 8
+    #: SARP: subarrays per bank (a power of two that divides ``rows``);
+    #: only the subarray under refresh blocks, the rest keep serving
+    subarrays_per_bank: int = 8
+    #: RAIDR: fraction of row groups in the (64 ms, 128 ms, 256 ms)
+    #: retention bins.  Liu et al. measure ~1000 rows below 256 ms in a
+    #: 32 GB system; the default keeps a conservative 5 % at 64 ms.
+    raidr_bins: tuple = (0.05, 0.25, 0.70)
+    #: RAIDR: row groups walked per retention window (the JEDEC grid
+    #: refreshes 8192 row groups per 64 ms).  Small values make the bin
+    #: structure visible in short validation runs.
+    raidr_window_ticks: int = 8192
 
     @property
     def enabled(self) -> bool:
@@ -272,13 +296,16 @@ class SystemConfig:
             return self.timings.fine_grained(2)
         if mode is RefreshMode.FGR_4X:
             return self.timings.fine_grained(4)
-        if mode is RefreshMode.PER_BANK:
-            # Per-bank refresh: one bank refreshed per REFpb command; the
-            # REFpb period is tREFI / banks and tRFCpb is roughly tRFC / 4
-            # for an 8 Gb device (JEDEC: 160 ns).
+        if mode in (RefreshMode.PER_BANK, RefreshMode.DARP, RefreshMode.SARP):
+            # Per-bank refresh (and the DARP/SARP schemes built on it):
+            # one bank refreshed per REFpb command; the REFpb period is
+            # tREFI / banks and tRFCpb is tRFC × 16/35 — exactly the
+            # JEDEC 160 ns / 350 ns ratio for an 8 Gb device, expressed
+            # as a ratio so density sweeps (which scale tRFC) scale the
+            # per-bank lock too.
             return self.timings.with_refresh(
                 refi=max(1, self.timings.refi // self.organization.banks),
-                rfc=self.timings.cycles(160.0),
+                rfc=max(1, (self.timings.rfc * 16) // 35),
             )
         return self.timings
 
@@ -291,6 +318,14 @@ class SystemConfig:
     def with_refresh_mode(self, mode: RefreshMode) -> "SystemConfig":
         """Copy with a different refresh mode."""
         return replace(self, refresh=replace(self.refresh, mode=mode))
+
+    def with_refresh_opts(self, **refresh_kwargs) -> "SystemConfig":
+        """Copy with :class:`RefreshConfig` field overrides."""
+        return replace(self, refresh=replace(self.refresh, **refresh_kwargs))
+
+    def with_density(self, gbit: int) -> "SystemConfig":
+        """Copy with tRFC scaled to a device density (4–32 Gb)."""
+        return replace(self, timings=self.timings.for_density(gbit))
 
     def with_llc_size(self, size_bytes: int) -> "SystemConfig":
         """Copy with a different LLC capacity."""

@@ -48,7 +48,15 @@ class Bank:
         recovery).
     """
 
-    __slots__ = ("open_row", "ready_at", "pre_ok_at", "act_cycle", "busy_until")
+    __slots__ = (
+        "open_row",
+        "ready_at",
+        "pre_ok_at",
+        "act_cycle",
+        "busy_until",
+        "sub_ref",
+        "sub_lock_end",
+    )
 
     def __init__(self) -> None:
         self.open_row: int | None = None
@@ -57,6 +65,10 @@ class Bank:
         self.act_cycle: int = -(10**9)
         #: end of the latest committed data burst (read or write)
         self.busy_until: int = 0
+        #: subarray held by an in-flight SARP refresh (−1 = none ever)
+        self.sub_ref: int = -1
+        #: end of the latest subarray refresh lock (SARP only)
+        self.sub_lock_end: int = 0
 
     def plan(
         self,
@@ -108,6 +120,25 @@ class Bank:
         self.open_row = None
         self.ready_at = max(self.ready_at, locked_until)
         self.pre_ok_at = max(self.pre_ok_at, locked_until)
+
+    def close_for_subarray_refresh(
+        self, sub: int, sub_rows: int, locked_until: int, rp: int
+    ) -> None:
+        """Lock one subarray for refresh; the rest of the bank keeps serving.
+
+        Only a row open inside the refreshing subarray is precharged; the
+        subarray exclusion itself is enforced by :meth:`Rank.plan` folding
+        ``sub_lock_end`` into ``not_before`` for same-subarray accesses.
+        Closing the row carries an implicit precharge, which cannot beat
+        ``pre_ok_at`` — flooring ``ready_at`` at ``pre_ok_at + tRP`` keeps
+        the next ACT (to *any* subarray) tRC-legal against the last one,
+        exactly as the row-conflict path would have.
+        """
+        if self.open_row is not None and self.open_row // sub_rows == sub:
+            self.open_row = None
+            self.ready_at = max(self.ready_at, self.pre_ok_at + rp)
+        self.sub_ref = sub
+        self.sub_lock_end = locked_until
 
     def quiesce_at(self) -> int:
         """Earliest cycle the bank is safe to lock for refresh.

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..config import SystemConfig
+from ..config import RefreshMode, SystemConfig
 from ..events import EventQueue
 from ..stats.collectors import ControllerStats
 from ..telemetry import NULL_SINK, Category, Kind
@@ -81,6 +81,16 @@ class MemoryController:
         self.mapper = AddressMapper(org, config.address_map)
         self.refresh_mgr = RefreshManager(config.refresh, self.t, org, sink=self.sink)
         self.channels = [_Channel(org.ranks, org.banks) for _ in range(org.channels)]
+        mode = config.refresh.mode
+        self._darp = mode is RefreshMode.DARP
+        self._sarp = mode is RefreshMode.SARP
+        self._subarrays = max(1, config.refresh.subarrays_per_bank)
+        self._sub_rows = 0
+        if self._sarp:
+            self._sub_rows = max(1, org.rows // self._subarrays)
+            for ch in self.channels:
+                for rank in ch.ranks:
+                    rank.sub_rows = self._sub_rows
         self.read_q: list[list[Request]] = [[] for _ in range(org.channels)]
         self.write_q: list[list[Request]] = [[] for _ in range(org.channels)]
         self._drain = [False] * org.channels
@@ -191,6 +201,10 @@ class MemoryController:
             # write-drain hysteresis
             if not drain[ci] and len(wq) >= drain_high:
                 drain[ci] = True
+                if self._darp:
+                    # DARP write-refresh parallelization: repay refresh debt
+                    # in banks with no pending reads while writes stream
+                    self._darp_piggyback(ci, cycle)
             elif drain[ci] and len(wq) <= drain_low:
                 drain[ci] = False
             if drain[ci]:
@@ -231,6 +245,7 @@ class MemoryController:
         first_ready: int | None = None
         wake: int | None = None
         ranks = ch.ranks
+        sub_rows = self._sub_rows
         for i, r in enumerate(queue):
             c = r.coord
             rank = ranks[c.rank]
@@ -240,6 +255,9 @@ class MemoryController:
             else:
                 bank = rank.banks[c.bank]
                 gate = bank.ready_at
+                if sub_rows and c.row // sub_rows == bank.sub_ref and bank.sub_lock_end > gate:
+                    # SARP: the request's subarray is mid-refresh
+                    gate = bank.sub_lock_end
                 if gate <= cycle:
                     if bank.open_row == c.row:
                         return i, None  # oldest ready row hit wins outright
@@ -376,10 +394,31 @@ class MemoryController:
             1 for r in self.write_q[ci] if r.coord.rank == ri
         )
 
+    def _pending_banks(self, ci: int, ri: int, *, reads_only: bool = False) -> set[int]:
+        """Banks of a rank with queued demand (DARP's idle-bank test)."""
+        banks = {r.coord.bank for r in self.read_q[ci] if r.coord.rank == ri}
+        if not reads_only:
+            banks.update(r.coord.bank for r in self.write_q[ci] if r.coord.rank == ri)
+        return banks
+
+    def _account_refresh_window(
+        self, ci: int, ri: int, start: int, end: int, locked_bank: int
+    ) -> None:
+        """Book one executed refresh window [start, end) into stats/telemetry."""
+        self.stats.refreshes += 1
+        self.stats.refresh_locked_cycles += end - start
+        self.stats.end_cycle = max(self.stats.end_cycle, end)
+        if self._t_ref:
+            # b: the one frozen bank for per-bank refresh (bank*S + sub for
+            # SARP's subarray locks), -1 when the whole rank locks
+            self.sink.emit(
+                Category.REFRESH, Kind.REFRESH_WINDOW, start, ci, ri, a=end, b=locked_bank
+            )
+        if self.rop is not None:
+            self.rop.on_refresh_executed(ci, ri, start, end)
+
     def _refresh_tick(self, ci: int, ri: int, cycle: int) -> None:
         """One tREFI grid tick for a rank: postpone, or refresh (w/ ROP arming)."""
-        from ..config import RefreshMode
-
         if self.cfg.refresh.mode is RefreshMode.PAUSING:
             self._paused_refresh(ci, ri, cycle)
             self.events.push(
@@ -388,7 +427,9 @@ class MemoryController:
                 housekeeping=True,
             )
             return
-        count = self.refresh_mgr.decide(ci, ri, cycle, self._pending_for_rank(ci, ri))
+        mgr = self.refresh_mgr
+        pending_banks = self._pending_banks(ci, ri) if mgr.wants_bank_pending else None
+        count = mgr.decide(ci, ri, cycle, self._pending_for_rank(ci, ri), pending_banks)
         if count > 0:
             due = cycle
             if self.rop is not None:
@@ -399,26 +440,18 @@ class MemoryController:
                     due = self._fetch_prefetch_lines(ci, ri, lines, cycle)
             rank = self.channels[ci].ranks[ri]
             for _ in range(count):
-                banks = self.refresh_mgr.banks_for(ci, ri)
-                start, end = rank.start_refresh(due, self.t, banks=banks)
-                self.stats.refreshes += 1
-                self.stats.refresh_locked_cycles += end - start
-                self.stats.end_cycle = max(self.stats.end_cycle, end)
-                if self._t_ref:
-                    # b: the one frozen bank for per-bank refresh, -1 when
-                    # the whole rank locks
-                    locked_bank = banks[0] if banks is not None and len(banks) == 1 else -1
-                    self.sink.emit(
-                        Category.REFRESH,
-                        Kind.REFRESH_WINDOW,
-                        start,
-                        ci,
-                        ri,
-                        a=end,
-                        b=locked_bank,
+                banks = mgr.banks_for(ci, ri)
+                if self._sarp:
+                    bank = banks[0]
+                    sub = mgr.subarray_for(ci, ri, bank)
+                    start, end = rank.start_subarray_refresh(
+                        due, self.t, bank, sub, self._sub_rows
                     )
-                if self.rop is not None:
-                    self.rop.on_refresh_executed(ci, ri, start, end)
+                    locked = bank * self._subarrays + sub
+                else:
+                    start, end = rank.start_refresh(due, self.t, banks=banks)
+                    locked = banks[0] if banks is not None and len(banks) == 1 else -1
+                self._account_refresh_window(ci, ri, start, end, locked)
                 due = end
             if self.read_q[ci] or self.write_q[ci]:
                 self._schedule_retry(ci, due)
@@ -475,6 +508,20 @@ class MemoryController:
                 self._schedule_retry(ci, end)
 
         step(due)
+
+    def _darp_piggyback(self, ci: int, cycle: int) -> None:
+        """Repay DARP refresh debt under cover of a starting write drain.
+
+        Each rank's banks that owe a refresh and have no queued reads take
+        one per-bank REF now — the paper's write-refresh parallelization:
+        the write burst hides the per-bank lock from the read critical path.
+        """
+        mgr = self.refresh_mgr
+        for ri, rank in enumerate(self.channels[ci].ranks):
+            read_banks = self._pending_banks(ci, ri, reads_only=True)
+            for bank in mgr.piggyback_banks(ci, ri, read_banks):
+                start, end = rank.start_refresh(cycle, self.t, banks=[bank])
+                self._account_refresh_window(ci, ri, start, end, bank)
 
     def _drain_rank(self, ci: int, ri: int, cycle: int) -> None:
         """Issue queued demand requests to a rank ahead of its refresh.

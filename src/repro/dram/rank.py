@@ -30,10 +30,13 @@ class Rank:
         "wtr_until",
         "refresh_count",
         "act_count",
+        "sub_rows",
     )
 
     def __init__(self, num_banks: int) -> None:
         self.banks = [Bank() for _ in range(num_banks)]
+        #: rows per subarray; 0 disables subarray (SARP) gating entirely
+        self.sub_rows: int = 0
         #: rank unavailable (refreshing) until this cycle
         self.locked_until: int = 0
         #: start of the most recent refresh lock window
@@ -71,7 +74,11 @@ class Rank:
         """Price an access through this rank's gates (no state change)."""
         start = max(now, self.locked_until)
         not_before = start if is_write else max(start, self.wtr_until)
-        return self.banks[bank_idx].plan(
+        bank = self.banks[bank_idx]
+        if self.sub_rows and row // self.sub_rows == bank.sub_ref:
+            # SARP: the target subarray is being refreshed — wait it out
+            not_before = max(not_before, bank.sub_lock_end)
+        return bank.plan(
             now, row, is_write, t, not_before=not_before, act_gate=self.act_gate(t)
         )
 
@@ -125,6 +132,23 @@ class Rank:
             end = start + lock_for
             for i in banks:
                 self.banks[i].close_for_refresh(end)
+        self.refresh_count += 1
+        return start, end
+
+    def start_subarray_refresh(
+        self, due: int, t: DramTimings, bank_idx: int, sub: int, sub_rows: int
+    ) -> tuple[int, int]:
+        """Refresh one subarray of one bank (SARP); returns ``(start, end)``.
+
+        The refresh still cannot cut an in-flight row cycle short
+        (``quiesce_at``) and serializes behind the bank's previous subarray
+        lock, but it freezes only the ``(bank, subarray)`` pair — demand to
+        the bank's other subarrays keeps flowing through :meth:`plan`.
+        """
+        bank = self.banks[bank_idx]
+        start = max(due, bank.quiesce_at(), bank.sub_lock_end)
+        end = start + t.rfc
+        bank.close_for_subarray_refresh(sub, sub_rows, end, t.rp)
         self.refresh_count += 1
         return start, end
 

@@ -2,8 +2,9 @@
 
 The controller drives refresh through a :class:`RefreshManager`: the
 manager owns the per-rank schedule (the ``tREFI`` grid, staggered across
-ranks) and decides, at each grid tick, how many REF commands to issue.
-Policies:
+ranks) and delegates every per-tick decision to a pluggable
+:class:`RefreshPolicy` looked up in :data:`REFRESH_POLICIES` by
+``RefreshMode``. Policies:
 
 * ``AUTO_1X`` / ``FGR_2X`` / ``FGR_4X`` — one REF per tick, period and
   ``tRFC`` taken from the (possibly fine-grained) timing set.
@@ -12,10 +13,27 @@ Policies:
 * ``ELASTIC`` — Elastic-Refresh-style postponement: a tick with pending
   demand to the rank defers the REF (up to ``postpone_max`` owed), and owed
   refreshes are repaid in a burst at the first idle tick.
+* ``DARP`` — Chang et al.'s dynamic access-refresh parallelization:
+  per-bank refreshes are scheduled out of order into banks with no pending
+  demand, postponed per bank up to ``postpone_max``, and piggybacked onto
+  write-drain windows (banks with no pending reads repay debt while the
+  channel streams writes).
+* ``SARP`` — subarray-level parallelism: a per-bank REF locks only one
+  subarray, so accesses to the bank's other subarrays proceed. Needs the
+  subarray axis on :class:`~repro.dram.bank.Bank` / address decode.
+* ``RAIDR`` — Liu et al.'s retention-aware refresh: rows are binned into
+  64 / 128 / 256 ms retention classes and the tREFI grid is decimated so
+  the 128 ms bin refreshes every other window and the 256 ms bin every
+  fourth.
 * ``NONE`` — never refresh (the idealized upper bound).
 * ``PAUSING`` — interruptible refresh; its segmentation lives in the
   controller (:meth:`~repro.dram.controller.MemoryController._paused_refresh`)
   because pausing interacts with the demand queues, not the schedule.
+
+A policy that the array-native epoch kernels cannot reproduce
+bit-identically declares ``kernel_decline`` — a structured reason string
+the kernels surface through the engine-fallback ladder instead of silently
+diverging.
 """
 
 from __future__ import annotations
@@ -24,11 +42,321 @@ from ..config import MemoryOrganization, RefreshConfig, RefreshMode
 from ..telemetry import NULL_SINK, Category, Kind
 from .timings import DramTimings
 
-__all__ = ["RefreshManager"]
+__all__ = [
+    "REFRESH_POLICIES",
+    "RefreshManager",
+    "RefreshPolicy",
+    "register_policy",
+]
+
+
+#: ``RefreshMode`` → policy class. Populated by :func:`register_policy`.
+REFRESH_POLICIES: dict[RefreshMode, type["RefreshPolicy"]] = {}
+
+
+def register_policy(*modes: RefreshMode):
+    """Class decorator registering a policy for one or more modes."""
+
+    def deco(cls: type["RefreshPolicy"]) -> type["RefreshPolicy"]:
+        for mode in modes:
+            REFRESH_POLICIES[mode] = cls
+        cls.modes = modes
+        return cls
+
+    return deco
+
+
+class RefreshPolicy:
+    """Per-tick refresh decisions for one ``RefreshMode``.
+
+    A policy owns all mode-specific state (postponement debt, round-robin
+    pointers, bin counters) keyed by ``(channel, rank)``; the manager owns
+    the grid itself (``period`` / ``first_tick``). The default
+    implementations encode the simplest member of the family: one all-bank
+    REF per grid tick, never postponed.
+
+    Class attributes
+    ----------------
+    kernel_decline:
+        ``None`` when the epoch kernels reproduce this policy
+        bit-identically; otherwise a structured reason string the kernels
+        report while falling back to the scalar engine.
+    wants_bank_pending:
+        True when :meth:`decide` consults per-bank pending-demand sets
+        (the controller only computes them when asked).
+    """
+
+    #: modes this class is registered for (filled by :func:`register_policy`)
+    modes: tuple[RefreshMode, ...] = ()
+    kernel_decline: str | None = None
+    wants_bank_pending: bool = False
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        self.mgr = mgr
+        self.cfg = mgr.cfg
+        self.org = mgr.org
+        self.mode = mgr.cfg.mode
+
+    def decide(
+        self,
+        key: tuple[int, int],
+        now: int,
+        pending_demand: int,
+        pending_banks: set[int] | None = None,
+    ) -> int:
+        """Number of REF commands to issue at this grid tick (0 = skip)."""
+        return 1
+
+    def banks_for(self, key: tuple[int, int]) -> list[int] | None:
+        """Banks frozen by the next REF (None = all-bank refresh)."""
+        return None
+
+    def subarray_for(self, key: tuple[int, int], bank: int) -> int:
+        """Subarray refreshed by the next REF to ``bank`` (SARP only)."""
+        return 0
+
+    def owed(self, key: tuple[int, int]) -> int:
+        """Outstanding postponed refreshes for a rank."""
+        return 0
+
+    def piggyback_banks(
+        self, key: tuple[int, int], pending_read_banks: set[int]
+    ) -> list[int]:
+        """Banks to opportunistically refresh at a write-drain start."""
+        return []
+
+
+@register_policy(RefreshMode.AUTO_1X)
+class AutoRefresh(RefreshPolicy):
+    """JEDEC auto-refresh: one all-bank REF per ``tREFI``."""
+
+
+@register_policy(RefreshMode.NONE)
+class NoRefresh(RefreshPolicy):
+    """Refresh disabled (idealized upper bound); never scheduled."""
+
+
+@register_policy(RefreshMode.FGR_2X, RefreshMode.FGR_4X)
+class FgrRefresh(RefreshPolicy):
+    """Fine-granularity refresh: the FGR timing set does all the work."""
+
+
+@register_policy(RefreshMode.PAUSING)
+class PausingRefresh(RefreshPolicy):
+    """Refresh Pausing; segmentation lives in the controller."""
+
+
+@register_policy(RefreshMode.PER_BANK)
+class PerBankRefresh(RefreshPolicy):
+    """Round-robin per-bank refresh on the REFpb grid."""
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        super().__init__(mgr)
+        self._next_bank = {k: 0 for k in mgr.rank_keys()}
+
+    def banks_for(self, key: tuple[int, int]) -> list[int] | None:
+        bank = self._next_bank[key]
+        self._next_bank[key] = (bank + 1) % self.org.banks
+        return [bank]
+
+
+@register_policy(RefreshMode.ELASTIC)
+class ElasticRefresh(RefreshPolicy):
+    """Elastic Refresh postponement; owns the per-rank owed counters."""
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        super().__init__(mgr)
+        self._owed = {k: 0 for k in mgr.rank_keys()}
+
+    def decide(
+        self,
+        key: tuple[int, int],
+        now: int,
+        pending_demand: int,
+        pending_banks: set[int] | None = None,
+    ) -> int:
+        owed = self._owed[key] + 1  # this tick's refresh joins the debt
+        if pending_demand > 0 and owed < self.cfg.postpone_max:
+            self._owed[key] = owed
+            mgr = self.mgr
+            if mgr._t_ref:
+                mgr.sink.emit(
+                    Category.REFRESH, Kind.REFRESH_POSTPONED, now, key[0], key[1], a=owed
+                )
+            return 0
+        self._owed[key] = 0
+        return owed
+
+    def owed(self, key: tuple[int, int]) -> int:
+        return self._owed[key]
+
+
+@register_policy(RefreshMode.DARP)
+class DarpRefresh(RefreshPolicy):
+    """Dynamic access-refresh parallelization (Chang et al., HPCA'14).
+
+    Runs on the per-bank REFpb grid. Each tick the round-robin due bank
+    accrues one owed refresh; the policy then issues one REF to the
+    *most-owed idle* bank (no pending demand, ties to the lowest bank id),
+    postponing when every indebted bank is busy. A bank whose debt exceeds
+    ``postpone_max`` is force-refreshed for its whole debt — the JEDEC
+    postponement allowance. With ``postpone_max == 0`` the schedule
+    degenerates to exactly in-order per-bank round-robin.
+
+    Write-drain piggybacking (the paper's WRP half): when the controller
+    flips into write-drain mode, banks with debt and no pending reads repay
+    one refresh each under cover of the write burst.
+    """
+
+    kernel_decline = "refresh-policy darp: out-of-order per-bank schedule needs live queue state"
+    wants_bank_pending = True
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        super().__init__(mgr)
+        banks = self.org.banks
+        self._owed = {k: [0] * banks for k in mgr.rank_keys()}
+        self._rr = {k: 0 for k in mgr.rank_keys()}
+        self._queue: dict[tuple[int, int], list[int]] = {k: [] for k in mgr.rank_keys()}
+
+    def decide(
+        self,
+        key: tuple[int, int],
+        now: int,
+        pending_demand: int,
+        pending_banks: set[int] | None = None,
+    ) -> int:
+        owed = self._owed[key]
+        due = self._rr[key]
+        self._rr[key] = (due + 1) % len(owed)
+        owed[due] += 1
+        queue = self._queue[key]
+        budget = self.cfg.postpone_max
+        for bank, debt in enumerate(owed):
+            if debt > budget:
+                queue.extend([bank] * debt)  # forced: repay the whole debt
+                owed[bank] = 0
+        if not queue:
+            best, best_debt = -1, 0
+            for bank, debt in enumerate(owed):
+                if debt > best_debt and (pending_banks is None or bank not in pending_banks):
+                    best, best_debt = bank, debt
+            if best >= 0:
+                owed[best] -= 1
+                queue.append(best)
+        if not queue:
+            mgr = self.mgr
+            if mgr._t_ref:
+                mgr.sink.emit(
+                    Category.REFRESH,
+                    Kind.REFRESH_POSTPONED,
+                    now,
+                    key[0],
+                    key[1],
+                    a=sum(owed),
+                )
+        return len(queue)
+
+    def banks_for(self, key: tuple[int, int]) -> list[int] | None:
+        return [self._queue[key].pop(0)]
+
+    def owed(self, key: tuple[int, int]) -> int:
+        return sum(self._owed[key])
+
+    def piggyback_banks(
+        self, key: tuple[int, int], pending_read_banks: set[int]
+    ) -> list[int]:
+        owed = self._owed[key]
+        repaid = []
+        for bank, debt in enumerate(owed):
+            if debt > 0 and bank not in pending_read_banks:
+                owed[bank] = debt - 1
+                repaid.append(bank)
+        return repaid
+
+
+@register_policy(RefreshMode.SARP)
+class SarpRefresh(RefreshPolicy):
+    """Subarray-aware refresh (the SARP half of Chang et al., HPCA'14).
+
+    Per-bank REFpb grid, round-robin banks; within each bank the refreshed
+    subarray rotates, and only that ``(bank, subarray)`` pair locks — the
+    controller keeps serving the bank's other subarrays. With one subarray
+    per bank this degenerates to exactly ``PER_BANK``.
+    """
+
+    kernel_decline = "refresh-policy sarp: subarray locks need per-bank row state"
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        super().__init__(mgr)
+        self._next_bank = {k: 0 for k in mgr.rank_keys()}
+        self._next_sub = {k: [0] * self.org.banks for k in mgr.rank_keys()}
+
+    def banks_for(self, key: tuple[int, int]) -> list[int] | None:
+        bank = self._next_bank[key]
+        self._next_bank[key] = (bank + 1) % self.org.banks
+        return [bank]
+
+    def subarray_for(self, key: tuple[int, int], bank: int) -> int:
+        subs = self._next_sub[key]
+        sub = subs[bank]
+        subs[bank] = (sub + 1) % max(1, self.cfg.subarrays_per_bank)
+        return sub
+
+
+@register_policy(RefreshMode.RAIDR)
+class RaidrRefresh(RefreshPolicy):
+    """Retention-aware refresh-rate binning (Liu et al., ISCA'12).
+
+    Rows are partitioned into 64 / 128 / 256 ms retention bins with the
+    fractions in ``raidr_bins``. The tREFI grid is carved into windows of
+    ``raidr_window_ticks`` slots: the 64 ms slice fires every window, the
+    128 ms slice every other window (phase-alternating) and the 256 ms
+    slice every fourth. The decision is closed-form in the tick index, so
+    both engines replay it bit-identically — and so can the golden model.
+    With all rows in the 64 ms bin the schedule is exactly ``AUTO_1X``.
+    """
+
+    def __init__(self, mgr: "RefreshManager") -> None:
+        super().__init__(mgr)
+        self._tick = {k: 0 for k in mgr.rank_keys()}
+        window = max(1, self.cfg.raidr_window_ticks)
+        f64, f128, _f256 = self.cfg.raidr_bins
+        n64 = min(window, round(f64 * window))
+        n128 = min(window - n64, round(f128 * window))
+        self.window = window
+        self.n64 = n64
+        self.n128 = n128
+
+    def fires(self, tick_index: int) -> bool:
+        """Whether grid tick ``tick_index`` (0-based) issues a REF."""
+        slot = tick_index % self.window
+        window_no = tick_index // self.window
+        if slot < self.n64:
+            return True
+        if slot < self.n64 + self.n128:
+            return (slot - self.n64) % 2 == window_no % 2
+        return (slot - self.n64 - self.n128) % 4 == window_no % 4
+
+    def decide(
+        self,
+        key: tuple[int, int],
+        now: int,
+        pending_demand: int,
+        pending_banks: set[int] | None = None,
+    ) -> int:
+        i = self._tick[key]
+        self._tick[key] = i + 1
+        return 1 if self.fires(i) else 0
 
 
 class RefreshManager:
-    """Per-rank refresh schedule and postponement bookkeeping."""
+    """Per-rank refresh schedule, delegating decisions to a policy.
+
+    The public surface (``enabled`` / ``period`` / ``first_tick`` /
+    ``grid_ticks`` / ``decide`` / ``banks_for`` / ``owed``) is exactly what
+    the controller, the epoch kernels and the ROP engine consumed before
+    the policy split, so all pre-existing modes stay bit-identical.
+    """
 
     def __init__(
         self,
@@ -43,12 +371,21 @@ class RefreshManager:
         self.sink = sink if sink is not None else NULL_SINK
         self._t_ref = self.sink.wants(Category.REFRESH)
         self.period = timings.refi
-        self._owed: dict[tuple[int, int], int] = {}
-        self._next_bank: dict[tuple[int, int], int] = {}
-        for ch in range(org.channels):
-            for rk in range(org.ranks):
-                self._owed[(ch, rk)] = 0
-                self._next_bank[(ch, rk)] = 0
+        try:
+            policy_cls = REFRESH_POLICIES[cfg.mode]
+        except KeyError:
+            raise ValueError(f"no RefreshPolicy registered for {cfg.mode!r}") from None
+        self.policy = policy_cls(self)
+        #: reason the epoch kernels must decline this policy (None = supported)
+        self.kernel_decline = self.policy.kernel_decline
+        #: whether ``decide`` wants the per-bank pending-demand set
+        self.wants_bank_pending = self.policy.wants_bank_pending
+
+    def rank_keys(self) -> list[tuple[int, int]]:
+        """All ``(channel, rank)`` keys of this organization."""
+        return [
+            (ch, rk) for ch in range(self.org.channels) for rk in range(self.org.ranks)
+        ]
 
     @property
     def enabled(self) -> bool:
@@ -78,35 +415,36 @@ class RefreshManager:
             return 0
         return (until - first) // self.period + 1
 
-    def decide(self, channel: int, rank: int, now: int, pending_demand: int) -> int:
-        """Number of REF commands to issue at this tick (0 = postpone).
+    def decide(
+        self,
+        channel: int,
+        rank: int,
+        now: int,
+        pending_demand: int,
+        pending_banks: set[int] | None = None,
+    ) -> int:
+        """Number of REF commands to issue at this tick (0 = postpone/skip).
 
         ``pending_demand`` is the number of queued demand requests
-        targeting the rank; only the ELASTIC policy consults it.
+        targeting the rank; ``pending_banks`` (only computed when
+        ``wants_bank_pending``) is the set of banks with queued demand.
         """
-        key = (channel, rank)
-        if self.cfg.mode is not RefreshMode.ELASTIC:
-            return 1
-        owed = self._owed[key] + 1  # this tick's refresh joins the debt
-        if pending_demand > 0 and owed < self.cfg.postpone_max:
-            self._owed[key] = owed
-            if self._t_ref:
-                self.sink.emit(
-                    Category.REFRESH, Kind.REFRESH_POSTPONED, now, channel, rank, a=owed
-                )
-            return 0
-        self._owed[key] = 0
-        return owed
+        return self.policy.decide((channel, rank), now, pending_demand, pending_banks)
 
     def banks_for(self, channel: int, rank: int) -> list[int] | None:
         """Banks frozen by the next REF (None = all-bank refresh)."""
-        if self.cfg.mode is not RefreshMode.PER_BANK:
-            return None
-        key = (channel, rank)
-        bank = self._next_bank[key]
-        self._next_bank[key] = (bank + 1) % self.org.banks
-        return [bank]
+        return self.policy.banks_for((channel, rank))
+
+    def subarray_for(self, channel: int, rank: int, bank: int) -> int:
+        """Subarray refreshed by the next REF to ``bank`` (SARP)."""
+        return self.policy.subarray_for((channel, rank), bank)
 
     def owed(self, channel: int, rank: int) -> int:
-        """Outstanding postponed refreshes for a rank (ELASTIC only)."""
-        return self._owed[(channel, rank)]
+        """Outstanding postponed refreshes for a rank."""
+        return self.policy.owed((channel, rank))
+
+    def piggyback_banks(
+        self, channel: int, rank: int, pending_read_banks: set[int]
+    ) -> list[int]:
+        """Banks to opportunistically refresh at a write-drain start (DARP)."""
+        return self.policy.piggyback_banks((channel, rank), pending_read_banks)

@@ -13,7 +13,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-__all__ = ["DramTimings", "DDR4_1600", "DDR4_2400"]
+__all__ = ["DENSITY_TRFC_NS", "DramTimings", "DDR4_1600", "DDR4_2400"]
+
+#: JEDEC DDR4 ``tRFC1`` per device density (ns). 4–16 Gb are the JESD79-4
+#: table values; 32 Gb extrapolates the trend the paper's Fig. 1 projects.
+DENSITY_TRFC_NS: dict[int, float] = {4: 260.0, 8: 350.0, 16: 550.0, 32: 780.0}
 
 
 def _ns_to_cycles(ns: float, tck_ns: float) -> int:
@@ -123,6 +127,18 @@ class DramTimings:
         if rfc is not None:
             kwargs["rfc"] = rfc
         return replace(self, **kwargs)
+
+    def for_density(self, gbit: int) -> "DramTimings":
+        """Return timings for a device density (``tRFC`` grows with Gb).
+
+        ``tREFI`` is density-independent in DDR4; only the refresh cycle
+        time stretches — the scaling trend that motivates the paper.
+        """
+        if gbit not in DENSITY_TRFC_NS:
+            raise ValueError(
+                f"unknown density {gbit} Gb; choose from {sorted(DENSITY_TRFC_NS)}"
+            )
+        return replace(self, rfc=self.cycles(DENSITY_TRFC_NS[gbit]))
 
     def fine_grained(self, mode: int) -> "DramTimings":
         """Return timings for a JEDEC fine-grained-refresh (FGR) mode.

@@ -1,0 +1,237 @@
+"""Refresh-policy zoo sweep: policy × device-density IPC/energy matrix.
+
+ROADMAP item 2's capstone experiment. Every refresh policy the simulator
+knows — the JEDEC modes, the related-work schedulers (Elastic, Pausing,
+DARP, SARP, RAIDR) and the ROP compositions — runs over the same
+benchmarks at each DRAM device density (4–32 Gb, i.e. tRFC from 260 ns
+to 780 ns), producing the refresh-scaling picture the paper's Section
+VI argues from: as density grows, tRFC grows, and the gap between
+auto-refresh and the mitigation schemes widens.
+
+Energy uses the event-count DRAM model with the per-REF energy scaled
+by the density's tRFC (refresh current flows for the whole lock), so
+the refresh share of total energy grows with density exactly as the
+Micron calculator predicts.
+
+All points run through :func:`repro.harness.execute_plan`, so the sweep
+is cache-addressed, parallelizable and engine-transparent (DARP/SARP
+points fall back to the scalar engine with a structured reason).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import RefreshMode, SystemConfig
+from ..dram.timings import DDR4_1600, DENSITY_TRFC_NS
+from ..energy.dram_power import DramEnergyParams, system_energy
+from . import reporting
+from .experiment import RunScale
+from .runner import RunSpec, execute_plan
+
+__all__ = [
+    "ZOO_DENSITIES",
+    "ZOO_POLICIES",
+    "zoo_configs",
+    "zoo_sweep",
+    "zoo_matrix",
+    "render_zoo",
+]
+
+#: device densities swept (Gbit) — keys of DENSITY_TRFC_NS
+ZOO_DENSITIES: tuple[int, ...] = tuple(sorted(DENSITY_TRFC_NS))
+
+#: policy label → (refresh mode, ROP composes on top, refresh-config
+#: overrides); order is presentation order (plain schemes first, then
+#: the ROP compositions). RAIDR uses a short bin window — the default
+#: 8192-tick window never wraps inside a sweep-length run, which would
+#: degenerate to auto-refresh (every early slot is a 64 ms slot).
+ZOO_POLICIES: dict[str, tuple[RefreshMode, bool, dict]] = {
+    "auto_1x": (RefreshMode.AUTO_1X, False, {}),
+    "fgr_2x": (RefreshMode.FGR_2X, False, {}),
+    "per_bank": (RefreshMode.PER_BANK, False, {}),
+    "elastic": (RefreshMode.ELASTIC, False, {}),
+    "pausing": (RefreshMode.PAUSING, False, {}),
+    "darp": (RefreshMode.DARP, False, {}),
+    "sarp": (RefreshMode.SARP, False, {}),
+    "raidr": (RefreshMode.RAIDR, False, {"raidr_window_ticks": 8}),
+    "rop": (RefreshMode.AUTO_1X, True, {}),
+    "rop_per_bank": (RefreshMode.PER_BANK, True, {}),
+    "rop_darp": (RefreshMode.DARP, True, {}),
+    "none": (RefreshMode.NONE, False, {}),
+}
+
+
+def zoo_configs(
+    scale: RunScale,
+    *,
+    densities: tuple[int, ...] = ZOO_DENSITIES,
+    policies: tuple[str, ...] | None = None,
+) -> dict[tuple[str, int], SystemConfig]:
+    """Materialize the (policy, density) configuration grid.
+
+    Unknown policy names raise ``ValueError`` (listing the known ones);
+    ``auto_1x`` is always included — it is the normalization baseline.
+    """
+    names = list(policies) if policies else list(ZOO_POLICIES)
+    unknown = [n for n in names if n not in ZOO_POLICIES]
+    if unknown:
+        raise ValueError(
+            f"unknown zoo policies {unknown}; known: {sorted(ZOO_POLICIES)}"
+        )
+    if "auto_1x" not in names:
+        names.insert(0, "auto_1x")
+    grid: dict[tuple[str, int], SystemConfig] = {}
+    for gbit in densities:
+        for name in names:
+            mode, rop, opts = ZOO_POLICIES[name]
+            cfg = SystemConfig.single_core().with_density(gbit)
+            cfg = cfg.with_refresh_mode(mode)
+            if opts:
+                cfg = cfg.with_refresh_opts(**opts)
+            if rop:
+                cfg = cfg.with_rop(training_refreshes=scale.training_refreshes)
+            grid[(name, gbit)] = cfg
+    return grid
+
+
+def _density_energy_params(cfg: SystemConfig) -> DramEnergyParams:
+    """Per-REF energy scaled to the density's tRFC.
+
+    The default 690 nJ/REF is calibrated for the nominal 8 Gb part
+    (tRFC = 350 ns); refresh current flows for the whole tRFC window,
+    so denser parts pay proportionally more per REF command. FGR /
+    per-bank scaling relative to the configured tRFC is applied on top
+    by :func:`repro.energy.dram_power.dram_energy` itself.
+    """
+    scale = cfg.timings.rfc / max(1, DDR4_1600.rfc)
+    base = DramEnergyParams()
+    return DramEnergyParams(
+        background_mw_per_rank=base.background_mw_per_rank,
+        act_pre_nj=base.act_pre_nj,
+        read_nj=base.read_nj,
+        write_nj=base.write_nj,
+        refresh_nj=base.refresh_nj * scale,
+    )
+
+
+def zoo_sweep(
+    benchmarks: tuple[str, ...],
+    scale: RunScale,
+    *,
+    densities: tuple[int, ...] = ZOO_DENSITIES,
+    policies: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+) -> list[dict]:
+    """Run the zoo grid; one row per (benchmark, policy, density) point.
+
+    Rows carry raw IPC, total energy (nJ), the refresh share of energy
+    and the refresh count — normalization happens in :func:`zoo_matrix`
+    so callers can slice the raw points any way they like.
+    """
+    grid = zoo_configs(scale, densities=densities, policies=policies)
+    # one flat plan: (policy, density, benchmark) → spec
+    specs = {
+        (policy, gbit, name): RunSpec.benchmark(name, grid[(policy, gbit)], scale)
+        for (policy, gbit) in grid
+        for name in benchmarks
+    }
+    results = execute_plan(list(specs.values()), jobs=jobs)
+    rows = []
+    for (policy, gbit, name), spec in specs.items():
+        result = results[spec]
+        energy = system_energy(
+            result.stats, spec.config, _density_energy_params(spec.config)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "policy": policy,
+                "density_gbit": gbit,
+                "ipc": result.ipc,
+                "energy_nj": energy.total,
+                "refresh_fraction": energy.refresh_fraction,
+                "refreshes": result.stats.refreshes,
+            }
+        )
+    return rows
+
+
+def zoo_matrix(rows: list[dict]) -> list[dict]:
+    """Aggregate sweep rows per (policy, density).
+
+    IPC is the geometric mean across benchmarks normalized to the
+    ``auto_1x`` point of the *same benchmark and density*; energy is the
+    summed total normalized the same way. Missing baselines raise.
+    """
+    base_ipc = {
+        (r["benchmark"], r["density_gbit"]): r["ipc"]
+        for r in rows
+        if r["policy"] == "auto_1x"
+    }
+    base_energy: dict[int, float] = {}
+    for r in rows:
+        if r["policy"] == "auto_1x":
+            base_energy[r["density_gbit"]] = (
+                base_energy.get(r["density_gbit"], 0.0) + r["energy_nj"]
+            )
+    out: dict[tuple[str, int], dict] = {}
+    for r in rows:
+        key = (r["policy"], r["density_gbit"])
+        cell = out.setdefault(
+            key, {"log_ipc": 0.0, "n": 0, "energy": 0.0, "ref_frac": 0.0}
+        )
+        baseline = base_ipc[(r["benchmark"], r["density_gbit"])]
+        cell["log_ipc"] += math.log(r["ipc"] / baseline)
+        cell["energy"] += r["energy_nj"]
+        cell["ref_frac"] += r["refresh_fraction"]
+        cell["n"] += 1
+    return [
+        {
+            "policy": policy,
+            "density_gbit": gbit,
+            "norm_ipc": math.exp(cell["log_ipc"] / cell["n"]),
+            "norm_energy": cell["energy"] / base_energy[gbit],
+            "refresh_fraction": cell["ref_frac"] / cell["n"],
+        }
+        for (policy, gbit), cell in out.items()
+    ]
+
+
+def render_zoo(rows: list[dict]) -> str:
+    """ASCII zoo figure: policies × densities, ``IPC / energy`` cells.
+
+    Both numbers are normalized to ``auto_1x`` at the same density
+    (IPC: geomean across benchmarks, higher is better; energy: total,
+    lower is better).
+    """
+    matrix = zoo_matrix(rows)
+    densities = sorted({m["density_gbit"] for m in matrix})
+    policies = [
+        p
+        for p in list(ZOO_POLICIES)
+        if any(m["policy"] == p for m in matrix)
+    ]
+    cells = {(m["policy"], m["density_gbit"]): m for m in matrix}
+    headers = ["policy"] + [f"{g}Gb ipc/energy" for g in densities]
+    body = []
+    for policy in policies:
+        row = [policy]
+        for gbit in densities:
+            m = cells.get((policy, gbit))
+            row.append(
+                f"{m['norm_ipc']:.4f}/{m['norm_energy']:.3f}" if m else "-"
+            )
+        body.append(row)
+    lines = [
+        "Refresh-policy zoo (normalized to auto_1x per density; "
+        "ipc higher / energy lower is better):",
+        reporting.format_table(headers, body),
+        "refresh share of auto_1x energy by density: "
+        + "  ".join(
+            f"{g}Gb={cells[('auto_1x', g)]['refresh_fraction']:.1%}"
+            for g in densities
+            if ("auto_1x", g) in cells
+        ),
+    ]
+    return "\n".join(lines)

@@ -96,6 +96,9 @@ def run_epoch_kernel(memory, cores, max_cycles=None, audited=False) -> str | Non
     org = memory.config.organization
     if audited:
         return "audit wraps controller.submit, which the kernel bypasses"
+    decline = memory.controller.refresh_mgr.kernel_decline
+    if decline is not None:
+        return decline
     if org.channels != 1 or org.ranks != 1 or len(cores) != 1:
         # every other topology rides the generalized kernel, which keeps
         # the same bit-identity contract over per-(channel, rank) state

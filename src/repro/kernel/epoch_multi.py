@@ -65,6 +65,11 @@ def run_epoch_multi(memory, cores, max_cycles=None) -> str | None:
     org = memory.config.organization
     events = memory.events
     controller = memory.controller
+    decline = controller.refresh_mgr.kernel_decline
+    if decline is not None:
+        # defensive: run_epoch_kernel already screened this, but direct
+        # callers of the multi kernel get the same structured reason
+        return decline
     cfg = controller.cfg
     t = controller.t
     rop = controller.rop

@@ -51,6 +51,19 @@ _SYSTEMS = {
     "rop_elastic": lambda: (
         SystemConfig.single_core().with_refresh_mode(RefreshMode.ELASTIC).with_rop()
     ),
+    # the refresh-policy zoo (ROADMAP item 2): Chang et al.'s DARP/SARP
+    # and Liu et al.'s RAIDR, plus the ROP+DARP composition row.  RAIDR
+    # uses a short bin window so the decimation shows inside a corpus run
+    "darp": lambda: SystemConfig.single_core().with_refresh_mode(RefreshMode.DARP),
+    "sarp": lambda: SystemConfig.single_core().with_refresh_mode(RefreshMode.SARP),
+    "raidr": lambda: (
+        SystemConfig.single_core()
+        .with_refresh_mode(RefreshMode.RAIDR)
+        .with_refresh_opts(raidr_window_ticks=8)
+    ),
+    "rop_darp": lambda: (
+        SystemConfig.single_core().with_refresh_mode(RefreshMode.DARP).with_rop()
+    ),
     # the paper's 4-core systems (Figs. 10-14): Baseline, Baseline-RP
     # (rank-partitioned address map), ROP, and a per-bank-refresh variant
     "quad_baseline": lambda: SystemConfig.quad_core(rank_partitioned=False),

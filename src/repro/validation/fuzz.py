@@ -162,6 +162,16 @@ def memory_traces() -> st.SearchStrategy[AccessTrace]:
     )
 
 
+#: retention-bin mixes RAIDR fuzzing samples from — always summing to 1,
+#: spanning the all-weak and mostly-strong extremes
+_RAIDR_BIN_MIXES = [
+    (1.0, 0.0, 0.0),
+    (0.5, 0.25, 0.25),
+    (0.25, 0.5, 0.25),
+    (0.05, 0.25, 0.70),
+]
+
+
 @st.composite
 def fuzz_configs(draw, *, rop: bool | None = None) -> SystemConfig:
     """A small, fast system config covering the refresh-mode matrix."""
@@ -174,6 +184,9 @@ def fuzz_configs(draw, *, rop: bool | None = None) -> SystemConfig:
                 RefreshMode.FGR_2X,
                 RefreshMode.PAUSING,
                 RefreshMode.NONE,
+                RefreshMode.DARP,
+                RefreshMode.SARP,
+                RefreshMode.RAIDR,
             ]
         )
     )
@@ -181,6 +194,18 @@ def fuzz_configs(draw, *, rop: bool | None = None) -> SystemConfig:
     timings = SystemConfig().timings.with_refresh(refi=_FUZZ_REFI, rfc=100)
     cfg = SystemConfig.single_core(organization=FUZZ_ORG, timings=timings)
     cfg = cfg.with_refresh_mode(mode)
+    if mode is RefreshMode.DARP:
+        cfg = cfg.with_refresh_opts(postpone_max=draw(st.sampled_from([0, 2, 8])))
+    elif mode is RefreshMode.SARP:
+        # must divide FUZZ_ORG.rows so subarrays tile the bank exactly
+        cfg = cfg.with_refresh_opts(
+            subarrays_per_bank=draw(st.sampled_from([1, 2, 4, 8]))
+        )
+    elif mode is RefreshMode.RAIDR:
+        cfg = cfg.with_refresh_opts(
+            raidr_window_ticks=draw(st.sampled_from([4, 8, 16])),
+            raidr_bins=draw(st.sampled_from(_RAIDR_BIN_MIXES)),
+        )
     if rop_on:
         cfg = cfg.with_rop(
             sram_lines=draw(st.sampled_from([4, 16, 64])),

@@ -140,9 +140,10 @@ class TimingOracle:
         self._act_window: dict[tuple[int, int], deque[int]] = {}
         self._wtr_until: dict[tuple[int, int], int] = {}
         self._bus_free: dict[int, int] = {}
-        #: every committed data burst ``(ch, rank, bank, start, end)`` —
-        #: replayed post-hoc against the refresh lock windows
-        self.bursts: list[tuple[int, int, int, int, int]] = []
+        #: every committed data burst ``(ch, rank, bank, start, end, row)``
+        #: — replayed post-hoc against the refresh lock windows (the row
+        #: locates the burst's subarray for SARP exclusion)
+        self.bursts: list[tuple[int, int, int, int, int, int]] = []
         self.mismatches: list[Mismatch] = []
         self.checked = 0
 
@@ -203,7 +204,7 @@ class TimingOracle:
         if plan.data_start < bus:
             bad("bus: one burst at a time per channel", f">= {bus}", plan.data_start)
         self._bus_free[ch] = plan.data_end
-        self.bursts.append((ch, rk, bank, plan.data_start, plan.data_end))
+        self.bursts.append((ch, rk, bank, plan.data_start, plan.data_end, coord.row))
 
 
 # ------------------------------------------------------------ SRAM model
@@ -343,6 +344,11 @@ class ValidationSession:
         out += cap_mismatches(self.timing.mismatches, "ddr-timing")
         out += self._check_refresh_schedule(result, windows, snap)
         out += self._check_lock_exclusion(windows)
+        mode = self.config.refresh.mode
+        if mode is RefreshMode.DARP:
+            out += self._check_darp_schedule(result, windows, snap)
+        elif mode is RefreshMode.RAIDR:
+            out += self._check_raidr_bins(result, windows, snap)
         out += self._check_counters(result, snap)
         if self.config.rop.enabled:
             out += self._check_lambda_beta(result)
@@ -353,6 +359,126 @@ class ValidationSession:
         return out
 
     # -- individual checks --------------------------------------------------
+
+    def _refresh_manager(self) -> RefreshManager:
+        """The live refresh manager, or a fresh replay twin of it."""
+        if self._memory is not None:
+            return self._memory.controller.refresh_mgr
+        return RefreshManager(self.config.refresh, self.t, self.config.organization)
+
+    def _last_arrivals(self, snap: dict) -> dict[tuple[int, int], int]:
+        """Per-rank demand horizon: the event loop is provably live (ticking
+        the refresh grid) until the last request arrival on that rank."""
+        arr = (snap["cat"] == int(Category.REQUEST)) & (
+            (snap["kind"] == int(Kind.READ_ARRIVAL))
+            | (snap["kind"] == int(Kind.WRITE_ARRIVAL))
+        )
+        last: dict[tuple[int, int], int] = {}
+        for ach, ark, acy in zip(
+            snap["channel"][arr], snap["rank"][arr], snap["cycle"][arr]
+        ):
+            key = (int(ach), int(ark))
+            last[key] = max(last.get(key, 0), int(acy))
+        return last
+
+    def _check_darp_schedule(self, result, windows, snap) -> list[Mismatch]:
+        """DARP per-bank debt conservation against the round-robin accrual.
+
+        The policy accrues one owed refresh per grid tick to the
+        round-robin due bank (tick ``j`` → bank ``j mod nbanks``); every
+        executed window repays one. So per bank: executions can never
+        exceed end-of-run accruals, and can lag live accruals (ticks
+        before the last demand arrival) by at most the postpone budget —
+        out-of-order, piggybacked or not.
+        """
+        skew = int(_skew("darp-schedule"))
+        nbanks = self.config.organization.banks
+        budget = self.config.refresh.postpone_max
+        mgr = self._refresh_manager()
+        last_arrival = self._last_arrivals(snap)
+
+        def accrued(ticks: int, bank: int) -> int:
+            return max(0, (ticks - bank + nbanks - 1) // nbanks)
+
+        ms: list[Mismatch] = []
+        for (ch, rk), ws in sorted(windows.items()):
+            executed = [0] * nbanks
+            for _s, _e, bank in ws:
+                if 0 <= bank < nbanks:
+                    executed[bank] += 1
+            ticks_end = mgr.grid_ticks(ch, rk, int(result.stats.end_cycle))
+            horizon = last_arrival.get((ch, rk))
+            ticks_live = mgr.grid_ticks(ch, rk, horizon) if horizon is not None else 0
+            for bank in range(nbanks):
+                upper = accrued(ticks_end, bank) + 2 - skew
+                floor = accrued(ticks_live, bank) - budget - 1 + skew
+                if executed[bank] > upper:
+                    ms.append(
+                        Mismatch(
+                            check="darp-schedule",
+                            site=f"ch{ch}.rank{rk}.bank{bank}",
+                            expected=f"<= {upper} (round-robin accruals)",
+                            actual=executed[bank],
+                            detail="more per-bank refreshes than accrued debt",
+                        )
+                    )
+                if executed[bank] < floor:
+                    ms.append(
+                        Mismatch(
+                            check="darp-schedule",
+                            site=f"ch{ch}.rank{rk}.bank{bank}",
+                            expected=f">= {floor} (accruals minus postpone budget)",
+                            actual=executed[bank],
+                            detail="per-bank refresh starvation beyond DARP budget",
+                        )
+                    )
+        return cap_mismatches(ms, "darp-schedule")
+
+    def _check_raidr_bins(self, result, windows, snap) -> list[Mismatch]:
+        """RAIDR bin decimation replayed closed-form from the config.
+
+        The fire/skip decision is a pure function of the tick index
+        (64 ms slots every window, 128 ms slots every other, 256 ms every
+        fourth), so the executed-window count per rank must match the
+        replayed count over the grid ticks the run provably processed.
+        """
+        skew = int(_skew("raidr-bins"))
+        mgr = self._refresh_manager()
+        fires = mgr.policy.fires
+        last_arrival = self._last_arrivals(snap)
+
+        def fired(ticks: int) -> int:
+            return sum(1 for i in range(max(0, ticks)) if fires(i))
+
+        ms: list[Mismatch] = []
+        for (ch, rk), ws in sorted(windows.items()):
+            site = f"ch{ch}.rank{rk}"
+            ticks_end = mgr.grid_ticks(ch, rk, int(result.stats.end_cycle))
+            upper = fired(ticks_end + 1) + 1 - skew
+            if len(ws) > upper:
+                ms.append(
+                    Mismatch(
+                        check="raidr-bins",
+                        site=site,
+                        expected=f"<= {upper} (binned grid replay)",
+                        actual=len(ws),
+                        detail="more refreshes than the retention bins allow",
+                    )
+                )
+            horizon = last_arrival.get((ch, rk))
+            if horizon is not None:
+                floor = fired(mgr.grid_ticks(ch, rk, horizon)) - 1 + skew
+                if len(ws) < floor:
+                    ms.append(
+                        Mismatch(
+                            check="raidr-bins",
+                            site=site,
+                            expected=f">= {floor} (binned grid replay)",
+                            actual=len(ws),
+                            detail="retention bins under-refreshed",
+                        )
+                    )
+        return cap_mismatches(ms, "raidr-bins")
 
     def _refresh_windows(
         self, snap: dict
@@ -390,27 +516,17 @@ class ValidationSession:
                 )
             return ms
         pausing = mode is RefreshMode.PAUSING
-        mgr = (
-            self._memory.controller.refresh_mgr
-            if self._memory is not None
-            else RefreshManager(self.config.refresh, self.t, self.config.organization)
-        )
+        mgr = self._refresh_manager()
         period = mgr.period
         elastic = mode is RefreshMode.ELASTIC
+        # DARP postpones per bank and RAIDR decimates the grid on purpose:
+        # their starvation/adjacency shapes are policy-specific and covered
+        # by the dedicated darp-schedule / raidr-bins models below — only
+        # the generic upper bound and lock-shape rules apply here
+        skip_floor = mode in (RefreshMode.DARP, RefreshMode.RAIDR)
         count_slack = self.config.refresh.postpone_max + 2 if elastic else 2
         gap_bound = (self.config.refresh.postpone_max + 2) * period if elastic else 2 * period
-        # per-rank demand horizon: the event loop is provably live (ticking
-        # the refresh grid) until the last request arrival on that rank
-        arr = (snap["cat"] == int(Category.REQUEST)) & (
-            (snap["kind"] == int(Kind.READ_ARRIVAL))
-            | (snap["kind"] == int(Kind.WRITE_ARRIVAL))
-        )
-        last_arrival: dict[tuple[int, int], int] = {}
-        for ach, ark, acy in zip(
-            snap["channel"][arr], snap["rank"][arr], snap["cycle"][arr]
-        ):
-            key = (int(ach), int(ark))
-            last_arrival[key] = max(last_arrival.get(key, 0), int(acy))
+        last_arrival = self._last_arrivals(snap)
         for (ch, rk), ws in sorted(windows.items()):
             site = f"ch{ch}.rank{rk}"
             # every lock is exactly tRFC long (PAUSING splits it into
@@ -483,7 +599,7 @@ class ValidationSession:
             # tick executes (or, if elastic, postpones at most
             # ``postpone_max`` times before executing back-to-back)
             horizon = last_arrival.get((ch, rk))
-            if horizon is not None:
+            if horizon is not None and not skip_floor:
                 live = mgr.grid_ticks(ch, rk, horizon)
                 floor = live - (self.config.refresh.postpone_max if elastic else 0) - 1
                 if len(ws) < floor:
@@ -512,7 +628,7 @@ class ValidationSession:
             )
             rank_burst_ends = sorted(
                 de
-                for bch, brk, _bank, _ds, de in self.timing.bursts
+                for bch, brk, _bank, _ds, de, _row in self.timing.bursts
                 if (bch, brk) == (ch, rk)
             )
 
@@ -526,13 +642,19 @@ class ValidationSession:
             # between *other* banks' on-time starts at the rank level, so
             # the adjacency check must follow each bank's own series —
             # found by trace fuzzing, like the two PR-5 over-strict rules.
-            if mode is RefreshMode.PER_BANK:
+            if skip_floor:
+                series = []  # DARP/RAIDR gaps are checked by their own models
+            elif mode in (RefreshMode.PER_BANK, RefreshMode.SARP):
+                # SARP windows carry the encoded (bank*S + sub) key, so each
+                # series is one subarray's own REFpb grid: period × banks × S
                 by_start_bank: dict[int, list[int]] = {}
                 for s, _, bank in ws:
                     by_start_bank.setdefault(bank, []).append(s)
-                nbanks = self.config.organization.banks
+                scope = self.config.organization.banks
+                if mode is RefreshMode.SARP:
+                    scope *= max(1, self.config.refresh.subarrays_per_bank)
                 series = [
-                    (sorted(g), gap_bound * nbanks)
+                    (sorted(g), gap_bound * scope)
                     for g in by_start_bank.values()
                 ]
             else:
@@ -553,16 +675,37 @@ class ValidationSession:
         return cap_mismatches(ms, "refresh-schedule")
 
     def _check_lock_exclusion(self, windows) -> list[Mismatch]:
-        """No committed data burst may land inside its bank's lock window."""
+        """No committed data burst may land inside its bank's lock window.
+
+        SARP windows lock a ``(bank, subarray)`` pair (the telemetry ``b``
+        field carries ``bank*S + sub``): a burst only violates the lock
+        when its *row's* subarray matches — bursts to the bank's other
+        subarrays inside the window are exactly the parallelism SARP
+        exists to provide, and are reported under the dedicated
+        ``sarp-exclusion`` check when they go wrong.
+        """
+        sarp = self.config.refresh.mode is RefreshMode.SARP
+        subarrays = max(1, self.config.refresh.subarrays_per_bank)
+        sub_rows = max(1, self.config.organization.rows // subarrays)
+        # sarp-exclusion failpoint: pretend every subarray lock freezes the
+        # whole bank, so legal other-subarray bursts trip the check
+        sarp_all_subs = sarp and _skew("sarp-exclusion") != 0
         rank_locks: dict[tuple[int, int], list[tuple[int, int]]] = {}
         bank_locks: dict[tuple[int, int, int], list[tuple[int, int]]] = {}
+        sub_locks: dict[tuple[int, int, int, int], list[tuple[int, int]]] = {}
         for (ch, rk), ws in windows.items():
             for s, e, b in ws:
                 if b < 0:
                     rank_locks.setdefault((ch, rk), []).append((s, e))
+                elif sarp:
+                    bank, sub = divmod(b, subarrays)
+                    if sarp_all_subs:
+                        bank_locks.setdefault((ch, rk, bank), []).append((s, e))
+                    else:
+                        sub_locks.setdefault((ch, rk, bank, sub), []).append((s, e))
                 else:
                     bank_locks.setdefault((ch, rk, b), []).append((s, e))
-        for table in (rank_locks, bank_locks):
+        for table in (rank_locks, bank_locks, sub_locks):
             for intervals in table.values():
                 intervals.sort()
 
@@ -577,22 +720,30 @@ class ValidationSession:
             return None
 
         ms: list[Mismatch] = []
-        for ch, rk, bank, ds, de in self.timing.bursts:
+        for ch, rk, bank, ds, de, row in self.timing.bursts:
             hit = overlapping(rank_locks.get((ch, rk), ()), ds, de) or overlapping(
                 bank_locks.get((ch, rk, bank), ()), ds, de
             )
+            check = "refresh-schedule"
+            if hit is None and sarp:
+                hit = overlapping(
+                    sub_locks.get((ch, rk, bank, row // sub_rows), ()), ds, de
+                )
+                check = "sarp-exclusion"
+            elif sarp:
+                check = "sarp-exclusion"
             if hit:
                 ms.append(
                     Mismatch(
-                        check="refresh-schedule",
+                        check=check,
                         site=f"ch{ch}.rank{rk}.bank{bank}",
                         expected="no data burst inside a refresh lock",
                         actual=f"burst [{ds},{de}) in lock [{hit[0]},{hit[1]})",
                         cycle=ds,
-                        detail="lock exclusion",
+                        detail="subarray lock exclusion" if sarp else "lock exclusion",
                     )
                 )
-        return cap_mismatches(ms, "refresh-schedule")
+        return cap_mismatches(ms, "sarp-exclusion" if sarp else "refresh-schedule")
 
     def _check_counters(self, result, snap: dict) -> list[Mismatch]:
         """Scalar stats must equal independent recounts of the event stream."""

@@ -100,6 +100,30 @@ class TestMulticoreCorpusDigestIdentity:
         assert declined == []
 
 
+class TestRefreshPolicyKernelSupport:
+    """Zoo policies either ride the kernels or decline with a reason."""
+
+    @pytest.mark.parametrize(
+        "system,fragment",
+        [("darp", "darp"), ("sarp", "sarp"), ("rop_darp", "darp")],
+    )
+    def test_policies_decline_with_structured_reason(self, system, fragment):
+        cfg = _SYSTEMS[system]()
+        declined: list[str] = []
+        trace = profile("lbm").memory_trace(INSTR, cfg.llc, seed=1)
+        run_cores([trace], cfg, engine="epoch", fallback_reasons=declined)
+        assert len(declined) == 1
+        assert "refresh-policy" in declined[0]
+        assert fragment in declined[0]
+
+    def test_raidr_rides_the_kernel_without_fallback(self):
+        cfg = _SYSTEMS["raidr"]()
+        declined: list[str] = []
+        trace = profile("lbm").memory_trace(INSTR, cfg.llc, seed=1)
+        run_cores([trace], cfg, engine="epoch", fallback_reasons=declined)
+        assert declined == []
+
+
 class TestObserverInvariance:
     @pytest.mark.parametrize("engine", ENGINES)
     def test_sink_does_not_change_the_result(self, engine):

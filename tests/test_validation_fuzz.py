@@ -58,6 +58,49 @@ def test_rop_in_permanent_training_is_transparent(ct):
 
 @given(ct=config_and_traces(rop=False))
 @settings(max_examples=15)
+def test_raidr_all_weak_bins_equal_auto_refresh(ct):
+    """RAIDR with every row in the 64 ms bin degenerates to AUTO_1X: the
+    binned grid fires on every tick, so the schedules must be identical."""
+    cfg, traces = ct
+    raidr = cfg.with_refresh_mode(RefreshMode.RAIDR).with_refresh_opts(
+        raidr_bins=(1.0, 0.0, 0.0)
+    )
+    auto = cfg.with_refresh_mode(RefreshMode.AUTO_1X)
+    assert _fingerprint(run_cores(traces, raidr)) == _fingerprint(
+        run_cores(traces, auto)
+    )
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
+def test_sarp_single_subarray_equals_per_bank(ct):
+    """With one subarray per bank, a subarray lock IS a bank lock, so SARP
+    collapses to the per-bank refresh schedule cycle-for-cycle."""
+    cfg, traces = ct
+    sarp = cfg.with_refresh_mode(RefreshMode.SARP).with_refresh_opts(
+        subarrays_per_bank=1
+    )
+    per_bank = cfg.with_refresh_mode(RefreshMode.PER_BANK)
+    assert _fingerprint(run_cores(traces, sarp)) == _fingerprint(
+        run_cores(traces, per_bank)
+    )
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
+def test_darp_zero_postpone_budget_equals_per_bank(ct):
+    """A DARP scheduler that may never postpone has no freedom left: it
+    must issue the in-order round-robin per-bank schedule."""
+    cfg, traces = ct
+    darp = cfg.with_refresh_mode(RefreshMode.DARP).with_refresh_opts(postpone_max=0)
+    per_bank = cfg.with_refresh_mode(RefreshMode.PER_BANK)
+    assert _fingerprint(run_cores(traces, darp)) == _fingerprint(
+        run_cores(traces, per_bank)
+    )
+
+
+@given(ct=config_and_traces(rop=False))
+@settings(max_examples=15)
 def test_removing_refresh_never_slows_a_run(ct):
     """Refresh only ever blocks requests: the idealized no-refresh memory
     finishes no later, modulo scheduler-wakeup jitter.
